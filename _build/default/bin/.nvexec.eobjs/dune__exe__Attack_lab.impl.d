@@ -1,0 +1,1 @@
+bin/attack_lab.ml: Arg Cmd Cmdliner Format List Nv_attacks Nv_httpd Printf Term

@@ -1,0 +1,1 @@
+bin/attack_lab.mli:

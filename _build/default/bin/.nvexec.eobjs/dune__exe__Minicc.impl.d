@@ -1,0 +1,1 @@
+bin/minicc.ml: Arg Array Cmd Cmdliner Format List Nv_core Nv_minic Nv_os Nv_transform Nv_vm Printf Term

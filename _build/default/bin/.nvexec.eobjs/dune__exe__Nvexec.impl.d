@@ -1,0 +1,1 @@
+bin/nvexec.ml: Arg Cmd Cmdliner Format List Nv_core Nv_minic Nv_os Nv_transform Printf String Term

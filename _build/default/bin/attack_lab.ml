@@ -1,0 +1,79 @@
+(* attack_lab: run the attack campaign (experiment X2) from the
+   command line. *)
+
+open Cmdliner
+
+let attack_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "a"; "attack" ] ~docv:"NAME"
+        ~doc:"Run a single attack by name (default: all). Use --list to see names.")
+
+let config_arg =
+  let configs =
+    List.map (fun c -> (Nv_httpd.Deploy.name c, c)) Nv_httpd.Deploy.all
+  in
+  Arg.(
+    value
+    & opt (some (enum configs)) None
+    & info [ "c"; "config" ] ~docv:"CONFIG"
+        ~doc:"Target configuration (default: all four).")
+
+let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List attacks and exit.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose" ] ~doc:"Print detailed verdicts, not just labels.")
+
+let run attack config list verbose =
+  if list then begin
+    List.iter
+      (fun a ->
+        Printf.printf "%-22s %s\n" a.Nv_attacks.Campaign.name
+          a.Nv_attacks.Campaign.description)
+      Nv_attacks.Campaign.attacks;
+    exit 0
+  end;
+  let attacks =
+    match attack with
+    | None -> Nv_attacks.Campaign.attacks
+    | Some name -> (
+      match Nv_attacks.Campaign.find name with
+      | Some a -> [ a ]
+      | None ->
+        Printf.eprintf "unknown attack %S (try --list)\n" name;
+        exit 2)
+  in
+  let configs = match config with None -> Nv_httpd.Deploy.all | Some c -> [ c ] in
+  let matrix = Nv_attacks.Campaign.run_matrix ~attacks ~configs () in
+  print_string (Nv_attacks.Campaign.render_matrix matrix);
+  if verbose then
+    List.iter
+      (fun (a, cells) ->
+        List.iter
+          (fun (c, v) ->
+            Format.printf "%s / %s: %a@." a.Nv_attacks.Campaign.name
+              (Nv_httpd.Deploy.name c) Nv_attacks.Campaign.pp_verdict v)
+          cells)
+      matrix;
+  (* Exit nonzero if any attack escalated against the UID variation:
+     that would falsify the reproduction's headline claim. *)
+  let headline_broken =
+    List.exists
+      (fun (a, cells) ->
+        a.Nv_attacks.Campaign.name <> "baseline-request"
+        && List.exists
+             (fun (c, v) ->
+               c = Nv_httpd.Deploy.Two_variant_uid
+               && match v with Nv_attacks.Campaign.Escalated _ -> true | _ -> false)
+             cells)
+      matrix
+  in
+  exit (if headline_broken then 1 else 0)
+
+let cmd =
+  let doc = "run data-corruption and code-injection attacks against the case-study server" in
+  Cmd.v (Cmd.info "attack_lab" ~doc)
+    Term.(const run $ attack_arg $ config_arg $ list_arg $ verbose_arg)
+
+let () = exit (Cmd.eval cmd)

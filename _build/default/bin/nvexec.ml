@@ -1,0 +1,105 @@
+(* nvexec: run a mini-C program as an N-variant system.
+
+   The moral equivalent of the paper's `nvexec prog1 prog2` launcher
+   (Section 3.1), except the variants are generated automatically from
+   one source file by the UID transformer. *)
+
+open Cmdliner
+
+let variations =
+  [
+    ("single", Nv_core.Variation.single);
+    ("replicated", Nv_core.Variation.replicated);
+    ("address-partition", Nv_core.Variation.address_partition);
+    ("instruction-tagging", Nv_core.Variation.instruction_tagging);
+    ("uid-diversity", Nv_core.Variation.uid_diversity);
+  ]
+
+let variation_arg =
+  let doc =
+    Printf.sprintf "Variation to deploy: %s."
+      (String.concat ", " (List.map fst variations))
+  in
+  Arg.(
+    value
+    & opt (enum variations) Nv_core.Variation.uid_diversity
+    & info [ "v"; "variation" ] ~docv:"VARIATION" ~doc)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mc" ~doc:"mini-C source file")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print every syscall rendezvous.")
+
+let fuel_arg =
+  Arg.(
+    value & opt int 50_000_000
+    & info [ "fuel" ] ~docv:"N" ~doc:"Guest instruction budget across all variants.")
+
+let no_runtime_arg =
+  Arg.(
+    value & flag
+    & info [ "no-runtime" ] ~doc:"Do not prepend the mini-C runtime library.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("cc-calls", Nv_transform.Uid_transform.Cc_calls);
+             ("user-space", Nv_transform.Uid_transform.User_space);
+           ])
+        Nv_transform.Uid_transform.Cc_calls
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"Comparison exposure mode: cc-calls (detection syscalls) or user-space.")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run variation file trace fuel no_runtime mode =
+  let source = read_file file in
+  let source = if no_runtime then source else Nv_minic.Runtime.with_runtime source in
+  match Nv_transform.Uid_transform.transform_source ~mode ~variation source with
+  | Error message ->
+    Printf.eprintf "nvexec: %s\n" message;
+    exit 2
+  | Ok (images, report) -> (
+    Format.printf "variation: %a; transformation: %a@." Nv_core.Variation.pp variation
+      Nv_transform.Uid_transform.pp_report report;
+    let sys = Nv_core.Nsystem.create ~variation images in
+    if trace then
+      Nv_core.Monitor.set_tracer (Nv_core.Nsystem.monitor sys) (fun e ->
+          Format.printf "[%s] %s@."
+            (Nv_os.Syscall.name e.Nv_core.Monitor.ev_syscall)
+            e.Nv_core.Monitor.ev_note);
+    match Nv_core.Nsystem.run ~fuel sys with
+    | Nv_core.Monitor.Exited status ->
+      let kernel = Nv_core.Nsystem.kernel sys in
+      print_string (Nv_os.Kernel.stdout_contents kernel);
+      prerr_string (Nv_os.Kernel.stderr_contents kernel);
+      Format.printf "[exited %d; %d instructions; %d rendezvous]@." status
+        (Nv_core.Monitor.instructions_retired (Nv_core.Nsystem.monitor sys))
+        (Nv_core.Monitor.rendezvous_count (Nv_core.Nsystem.monitor sys));
+      exit (if status land 0xFF = status then status else 1)
+    | Nv_core.Monitor.Alarm reason ->
+      Format.printf "ALARM: %a@." Nv_core.Alarm.pp reason;
+      exit 3
+    | Nv_core.Monitor.Blocked_on_accept ->
+      print_endline "server blocked on accept with no client; stopping";
+      exit 4
+    | Nv_core.Monitor.Out_of_fuel ->
+      print_endline "out of fuel";
+      exit 5)
+
+let cmd =
+  let doc = "run a mini-C program as an N-variant system" in
+  Cmd.v
+    (Cmd.info "nvexec" ~doc)
+    Term.(const run $ variation_arg $ file_arg $ trace_arg $ fuel_arg $ no_runtime_arg $ mode_arg)
+
+let () = exit (Cmd.eval cmd)

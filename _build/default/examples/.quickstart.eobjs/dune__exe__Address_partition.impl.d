@@ -1,0 +1,1 @@
+examples/address_partition.ml: Format Nv_core Nv_minic Nv_vm Printf

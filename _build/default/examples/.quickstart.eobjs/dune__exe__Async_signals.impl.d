@@ -1,0 +1,1 @@
+examples/async_signals.ml: List Nv_core Nv_minic Nv_transform Printf

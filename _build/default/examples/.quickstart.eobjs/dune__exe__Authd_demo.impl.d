@@ -1,0 +1,1 @@
+examples/authd_demo.ml: Format Nv_core Nv_httpd Nv_minic Nv_transform Printf String

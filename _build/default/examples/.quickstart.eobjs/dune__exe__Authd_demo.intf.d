@@ -1,0 +1,1 @@
+examples/authd_demo.mli:

@@ -1,0 +1,1 @@
+examples/legacy_hardening.ml: Format List Nv_core Nv_minic Nv_transform Nv_vm Printf

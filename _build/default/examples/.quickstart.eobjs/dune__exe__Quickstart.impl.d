@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Nv_core Nv_transform Nv_vm Printf

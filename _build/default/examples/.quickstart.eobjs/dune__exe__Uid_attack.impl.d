@@ -1,0 +1,1 @@
+examples/uid_attack.ml: Format List Nv_attacks Nv_core Nv_httpd String

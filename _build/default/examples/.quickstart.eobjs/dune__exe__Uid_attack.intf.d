@@ -1,0 +1,1 @@
+examples/uid_attack.mli:

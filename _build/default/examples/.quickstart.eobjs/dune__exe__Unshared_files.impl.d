@@ -1,0 +1,1 @@
+examples/unshared_files.ml: Array Format List Nv_core Nv_minic Nv_os Nv_transform Nv_vm Printf String

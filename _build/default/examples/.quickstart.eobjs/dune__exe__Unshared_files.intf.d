@@ -1,0 +1,1 @@
+examples/unshared_files.mli:

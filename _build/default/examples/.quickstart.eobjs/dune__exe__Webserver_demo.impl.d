@@ -1,0 +1,1 @@
+examples/webserver_demo.ml: Format List Nv_core Nv_httpd Nv_os Nv_transform Nv_workload String

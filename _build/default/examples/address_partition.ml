@@ -1,0 +1,63 @@
+(* Figure 1: two-variant address-space partitioning.
+
+     dune exec examples/address_partition.exe
+
+   The same image is loaded at 0x00010000 (variant 0) and 0x80010000
+   (variant 1); every absolute address embedded in the code is
+   relocated. On normal input the variants are semantically equivalent;
+   an input that injects an absolute address can be valid in at most
+   one variant - the other takes a memory fault the monitor observes. *)
+
+module Variation = Nv_core.Variation
+module Monitor = Nv_core.Monitor
+module Nsystem = Nv_core.Nsystem
+
+let program =
+  {|int cell = 7;
+    int main(void) {
+      int *p = &cell;       // legitimate pointer: relocated per variant
+      return *p;
+    }|}
+
+let attack_program =
+  Printf.sprintf
+    {|int main(void) {
+        int *p = (int*)0x%X;  // absolute address injected by an attacker
+        return *p;
+      }|}
+    (Variation.low_base + 64)
+
+let dump sys =
+  let monitor = Nsystem.monitor sys in
+  for i = 0 to Monitor.variant_count monitor - 1 do
+    let loaded = Monitor.loaded monitor i in
+    let layout = loaded.Nv_vm.Image.layout in
+    Format.printf "variant %d loaded at base 0x%08X:@." i layout.Nv_vm.Image.base;
+    print_string
+      (Nv_vm.Disasm.region loaded.Nv_vm.Image.memory ~start:layout.Nv_vm.Image.code_start
+         ~count:5)
+  done
+
+let run_and_report sys =
+  match Nsystem.run sys with
+  | Monitor.Exited status -> Format.printf "-> both variants exited %d (equivalent)@." status
+  | Monitor.Alarm reason -> Format.printf "-> ALARM: %a@." Nv_core.Alarm.pp reason
+  | Monitor.Blocked_on_accept -> print_endline "-> blocked"
+  | Monitor.Out_of_fuel -> print_endline "-> fuel exhausted"
+
+let build source =
+  Nsystem.of_one_image ~variation:Variation.address_partition
+    (Nv_minic.Codegen.compile_source source)
+
+let () =
+  print_endline "== normal program: same behaviour at disjoint bases ==";
+  let sys = build program in
+  dump sys;
+  run_and_report sys;
+  print_endline "\n== attack: dereference of an injected absolute address ==";
+  Format.printf "the attacker hardcodes 0x%08X (valid only in variant 0)@."
+    (Variation.low_base + 64);
+  run_and_report (build attack_program);
+  print_endline
+    "\nThe partition bit cannot be 0 and 1 at once: any injected absolute\n\
+     address faults in at least one variant, and the monitor reports it."

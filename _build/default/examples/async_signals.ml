@@ -1,0 +1,94 @@
+(* Asynchronous events and scheduling divergence (Section 3.1).
+
+     dune exec examples/async_signals.exe
+
+   The paper: "if a signal is delivered to variants at different points
+   in their execution, their behaviors may diverge. This leads to a
+   false attack detection." This demo makes that concrete: the guest
+   parses the unshared /etc/passwd (whose diversified copies have
+   different lengths, so the variants' instruction streams drift) and
+   then snapshots a counter a handler increments. Naive fixed-count
+   delivery lands at different logical points and trips a false alarm;
+   rendezvous-synchronized delivery never does. *)
+
+module Variation = Nv_core.Variation
+module Monitor = Nv_core.Monitor
+module Nsystem = Nv_core.Nsystem
+
+let program =
+  Nv_minic.Runtime.with_runtime
+    {|int sigcount = 0;
+      int on_signal(void) {
+        sigcount = sigcount + 1;
+        return 0;
+      }
+      int main(void) {
+        int fd = sys_accept();
+        sys_close(fd);
+        uid_t www = getpwnam_uid("www");   // divergent instruction counts
+        int snapshot = sigcount;
+        if (cond_chk(snapshot == 0)) {
+          if (seteuid(www) != 0) { return 9; }
+          return 0;
+        }
+        return 1;
+      }|}
+
+let build () =
+  match
+    Nv_transform.Uid_transform.transform_source ~variation:Variation.uid_diversity program
+  with
+  | Ok (images, _) -> Nsystem.create ~variation:Variation.uid_diversity images
+  | Error e -> failwith e
+
+let run_with mode =
+  let sys = build () in
+  (match Nsystem.run sys with
+  | Monitor.Blocked_on_accept -> ()
+  | _ -> failwith "daemon did not start");
+  (match Monitor.post_signal (Nsystem.monitor sys) ~handler:"on_signal" ~mode with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  ignore (Nsystem.connect sys);
+  Nsystem.run sys
+
+let describe = function
+  | Monitor.Exited n -> Printf.sprintf "exited %d" n
+  | Monitor.Alarm reason -> "FALSE ALARM: " ^ Nv_core.Alarm.to_string reason
+  | Monitor.Blocked_on_accept -> "blocked"
+  | Monitor.Out_of_fuel -> "fuel exhausted"
+
+let () =
+  print_endline "== naive delivery at a fixed instruction count (scanning) ==";
+  let outcomes =
+    List.map
+      (fun after -> (after, run_with (Monitor.Immediate { after_instructions = after })))
+      (List.init 120 (fun i -> 50 + (50 * i)))
+  in
+  let alarms =
+    List.filter (fun (_, o) -> match o with Monitor.Alarm _ -> true | _ -> false) outcomes
+  in
+  Printf.printf "  scanned %d delivery points; %d caused a false detection\n"
+    (List.length outcomes) (List.length alarms);
+  (match alarms with
+  | (after, outcome) :: _ ->
+    Printf.printf "  e.g. after %d instructions: %s\n" after (describe outcome)
+  | [] -> print_endline "  (no divergent point found in this range)");
+  (match List.find_opt (fun (_, o) -> o = Monitor.Exited 1) outcomes with
+  | Some (after, _) ->
+    Printf.printf "  after %d instructions: exited 1 (handler seen before the snapshot)\n"
+      after
+  | None -> ());
+  (match List.find_opt (fun (_, o) -> o = Monitor.Exited 0) outcomes with
+  | Some (after, _) ->
+    Printf.printf "  after %d instructions: exited 0 (handler seen after the snapshot)\n"
+      after
+  | None -> ());
+  print_endline "\n== synchronized delivery at the next rendezvous ==";
+  Printf.printf "  %s (handler ran in lockstep in both variants)\n"
+    (describe (run_with Monitor.At_rendezvous));
+  print_endline
+    "\nSome naive delivery points split the variants around the snapshot and the\n\
+     cond_chk rendezvous reports divergence - an alarm with no attacker. The\n\
+     synchronized discipline (the direction the paper credits to Bruschi et al.)\n\
+     only ever delivers at equivalent states."

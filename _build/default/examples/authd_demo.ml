@@ -1,0 +1,47 @@
+(* The second case study: authd, an sshd-shaped login daemon (the
+   service class Chen et al.'s non-control-data paper attacked).
+
+     dune exec examples/authd_demo.exe
+
+   The daemon keeps a uid_t array of administrators next to an
+   overflowable username buffer. One malicious LOGIN line rewrites
+   admins[0] with an ordinary user's UID - promotion to administrator
+   without touching any control data. *)
+
+module Variation = Nv_core.Variation
+module Nsystem = Nv_core.Nsystem
+module Monitor = Nv_core.Monitor
+module Authd = Nv_httpd.Authd_source
+
+let ask sys line =
+  match Nsystem.serve sys line with
+  | Nsystem.Served response -> Printf.printf "  %-42s -> %s\n" (String.trim line) (String.trim response)
+  | Nsystem.Stopped (Monitor.Alarm reason) ->
+    Format.printf "  %-42s -> ALARM: %a@." (String.trim line) Nv_core.Alarm.pp reason
+  | Nsystem.Stopped _ -> Printf.printf "  %-42s -> (daemon stopped)\n" (String.trim line)
+
+let scenario name sys =
+  Printf.printf "\n=== %s ===\n" name;
+  ask sys (Authd.login "alice");
+  ask sys (Authd.login "root");
+  Printf.printf "  -- attacker sends the overflowing LOGIN --\n";
+  ask sys (Authd.overflow_login ~target_uid:1000);
+  ask sys (Authd.login "alice")
+
+let () =
+  print_endline "authd: LOGIN <user> -> ADMIN | OK | NOUSER | BAD";
+  scenario "unprotected single process"
+    (Nsystem.of_one_image ~variation:Variation.single
+       (Nv_minic.Codegen.compile_source Authd.source));
+  (match
+     Nv_transform.Uid_transform.transform_source ~variation:Variation.uid_diversity
+       Authd.source
+   with
+  | Ok (images, _) ->
+    scenario "2-variant UID data diversity"
+      (Nsystem.create ~variation:Variation.uid_diversity images)
+  | Error e -> print_endline ("transform failed: " ^ e));
+  print_endline
+    "\nOn the baseline, alice silently became an administrator. Under the UID\n\
+     variation the corrupted array entry decodes differently in each variant,\n\
+     and the membership check's cc_eq rendezvous raises the alarm."

@@ -1,0 +1,1 @@
+lib/attacks/campaign.ml: Array Format List Nv_core Nv_httpd Nv_os Nv_util Payloads Printf String

@@ -1,0 +1,1 @@
+lib/attacks/campaign.mli: Format Nv_core Nv_httpd

@@ -1,0 +1,1 @@
+lib/attacks/payloads.ml: Buffer Char List Nv_core Nv_httpd Nv_os Nv_vm Printf String

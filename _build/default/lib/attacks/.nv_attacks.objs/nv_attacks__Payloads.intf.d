@@ -1,0 +1,1 @@
+lib/attacks/payloads.mli: Nv_core Nv_vm

@@ -1,0 +1,238 @@
+module Monitor = Nv_core.Monitor
+module Nsystem = Nv_core.Nsystem
+module Alarm = Nv_core.Alarm
+module Socket = Nv_os.Socket
+module Deploy = Nv_httpd.Deploy
+module Http = Nv_httpd.Http
+
+type verdict =
+  | Escalated of string
+  | Corrupted_undetected
+  | Detected of Nv_core.Alarm.reason
+  | Crashed of string
+  | No_effect
+
+let verdict_label = function
+  | Escalated _ -> "ESCALATED"
+  | Corrupted_undetected -> "CORRUPTED"
+  | Detected _ -> "DETECTED"
+  | Crashed _ -> "CRASHED"
+  | No_effect -> "no effect"
+
+let pp_verdict ppf = function
+  | Escalated evidence -> Format.fprintf ppf "ESCALATED (leaked %S)" evidence
+  | Corrupted_undetected -> Format.pp_print_string ppf "CORRUPTED (undetected)"
+  | Detected reason -> Format.fprintf ppf "DETECTED (%a)" Alarm.pp reason
+  | Crashed why -> Format.fprintf ppf "CRASHED (%s)" why
+  | No_effect -> Format.pp_print_string ppf "no effect"
+
+type attack = { name : string; description : string; run : Nsystem.t -> verdict }
+
+(* ------------------------------------------------------------------ *)
+(* Driving helpers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec scan i =
+    i + n <= String.length haystack && (String.sub haystack i n = needle || scan (i + 1))
+  in
+  scan 0
+
+type step_result =
+  | Response of string
+  | Alarmed of Alarm.reason
+  | Died of string
+
+(* One request against a system expected to be (or come back to) the
+   accept loop. The connection is kept so that bytes written by
+   injected code before the process dies still reach the attacker. *)
+let send sys request =
+  match Nsystem.run sys with
+  | Monitor.Blocked_on_accept -> (
+    let conn = Nsystem.connect sys in
+    Socket.client_send conn request;
+    Socket.client_close conn;
+    match Nsystem.run sys with
+    | Monitor.Blocked_on_accept -> Response (Socket.client_recv conn)
+    | Monitor.Alarm reason -> Alarmed reason
+    | Monitor.Exited status ->
+      (* Injected code may exit after writing its loot. *)
+      let received = Socket.client_recv conn in
+      if received <> "" then Response received
+      else Died (Printf.sprintf "server exited %d" status)
+    | Monitor.Out_of_fuel -> Died "fuel exhausted")
+  | Monitor.Alarm reason -> Alarmed reason
+  | Monitor.Exited status -> Died (Printf.sprintf "server exited %d" status)
+  | Monitor.Out_of_fuel -> Died "fuel exhausted"
+
+let expected_stored_uid sys ~variant =
+  let variation = Nsystem.variation sys in
+  let spec = variation.Nv_core.Variation.variants.(variant) in
+  spec.Nv_core.Variation.uid.Nv_core.Reexpression.encode 33
+
+let uid_intact sys =
+  Payloads.read_stored_uid sys ~variant:0 = expected_stored_uid sys ~variant:0
+
+(* Shared epilogue: after the corruption step survived undetected, try
+   to cash it in with a traversal request, then classify. *)
+let classify_after_corruption sys =
+  match send sys (Http.get Payloads.traversal_url) with
+  | Alarmed reason -> Detected reason
+  | Died why -> Crashed why
+  | Response raw ->
+    if contains raw Payloads.shadow_marker then Escalated Payloads.shadow_marker
+    else if uid_intact sys then No_effect
+    else Corrupted_undetected
+
+(* ------------------------------------------------------------------ *)
+(* The attacks                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let baseline_request =
+  {
+    name = "baseline-request";
+    description = "control row: a benign GET / (no attack)";
+    run =
+      (fun sys ->
+        match send sys (Http.get "/") with
+        | Alarmed reason -> Detected reason
+        | Died why -> Crashed why
+        | Response raw -> (
+          match Http.parse_response raw with
+          | Ok { Http.status = 200; _ } when uid_intact sys -> No_effect
+          | Ok _ -> Corrupted_undetected
+          | Error e -> Crashed ("bad response: " ^ e)));
+  }
+
+let overflow_attack ~name ~description ~url =
+  {
+    name;
+    description;
+    run =
+      (fun sys ->
+        match send sys (Http.get url) with
+        | Alarmed reason -> Detected reason
+        | Died why -> Crashed why
+        | Response _ -> classify_after_corruption sys);
+  }
+
+let uid_null_overflow =
+  overflow_attack ~name:"uid-null-overflow"
+    ~description:
+      "64-byte URL: strcpy's terminator zeroes worker_uid's low byte (canonical 33 -> 0 \
+       = root), then ../ traversal reads /secret/shadow"
+    ~url:(Payloads.null_overflow_url ())
+
+let uid_partial_byte =
+  overflow_attack ~name:"uid-partial-byte"
+    ~description:"65-byte URL: one attacker-chosen byte lands in worker_uid"
+    ~url:(Payloads.partial_overwrite_url ~low_byte:'\x01')
+
+let uid_three_bytes =
+  overflow_attack ~name:"uid-three-bytes"
+    ~description:
+      "67-byte URL: the three low-order worker_uid bytes replaced with 'AAA' (the \
+       Section 2.3 partial-overwrite granularity); the terminator zeroes the high byte"
+    ~url:(Payloads.three_byte_overwrite_url ~low_bytes:"AAA")
+
+let bit_attack ~name ~description ~bit ~value =
+  {
+    name;
+    description;
+    run =
+      (fun sys ->
+        (* Park the server on accept, inject the fault, then probe. *)
+        match Nsystem.run sys with
+        | Monitor.Blocked_on_accept ->
+          Payloads.flip_stored_uid_bit ~bit ~value sys;
+          classify_after_corruption sys
+        | Monitor.Alarm reason -> Detected reason
+        | Monitor.Exited status -> Crashed (Printf.sprintf "exited %d at startup" status)
+        | Monitor.Out_of_fuel -> Crashed "fuel exhausted at startup");
+  }
+
+let uid_bit_set_low =
+  bit_attack ~name:"uid-bit-set-low"
+    ~description:"hardware fault: force bit 0 of the stored worker_uid word to 0 in every variant"
+    ~bit:0 ~value:false
+
+let uid_bit_set_high =
+  bit_attack ~name:"uid-bit-set-high"
+    ~description:
+      "hardware fault: force bit 31 to 1 in every variant - the XOR key leaves bit 31 \
+       unflipped, the paper's admitted escape"
+    ~bit:31 ~value:true
+
+let stack_code_injection =
+  {
+    name = "stack-code-injection";
+    description =
+      "stack smash via the auth token: return address redirected to machine code in the \
+       request buffer that opens and exfiltrates /secret/shadow";
+    run =
+      (fun sys ->
+        (* The payload embeds variant-0 absolute addresses, so the
+           system must be parked (loaded) before building it. *)
+        match Nsystem.run sys with
+        | Monitor.Blocked_on_accept -> (
+          let variation = Nsystem.variation sys in
+          let tag = variation.Nv_core.Variation.variants.(0).Nv_core.Variation.tag in
+          let request = Payloads.code_injection_request sys ~tag in
+          match send sys request with
+          | Alarmed reason -> Detected reason
+          | Died why -> Crashed why
+          | Response raw ->
+            if contains raw Payloads.shadow_marker then Escalated Payloads.shadow_marker
+            else if uid_intact sys then No_effect
+            else Corrupted_undetected)
+        | Monitor.Alarm reason -> Detected reason
+        | Monitor.Exited status -> Crashed (Printf.sprintf "exited %d at startup" status)
+        | Monitor.Out_of_fuel -> Crashed "fuel exhausted at startup");
+  }
+
+let attacks =
+  [
+    baseline_request;
+    uid_null_overflow;
+    uid_partial_byte;
+    uid_three_bytes;
+    uid_bit_set_low;
+    uid_bit_set_high;
+    stack_code_injection;
+  ]
+
+let find name = List.find_opt (fun a -> a.name = name) attacks
+
+let run_attack attack config =
+  match Deploy.build config with
+  | Error _ as e -> e
+  | Ok sys -> Ok (attack.run sys)
+
+type matrix = (attack * (Deploy.config * verdict) list) list
+
+let run_matrix ?(attacks = attacks) ?(configs = Deploy.all) () =
+  List.map
+    (fun attack ->
+      let cells =
+        List.map
+          (fun config ->
+            match run_attack attack config with
+            | Ok verdict -> (config, verdict)
+            | Error message -> (config, Crashed ("build failed: " ^ message)))
+          configs
+      in
+      (attack, cells))
+    attacks
+
+let render_matrix matrix =
+  let configs =
+    match matrix with [] -> [] | (_, cells) :: _ -> List.map fst cells
+  in
+  let header = "attack" :: List.map Deploy.name configs in
+  let rows =
+    List.map
+      (fun (attack, cells) -> attack.name :: List.map (fun (_, v) -> verdict_label v) cells)
+      matrix
+  in
+  Nv_util.Tablefmt.render ~header ~rows ()

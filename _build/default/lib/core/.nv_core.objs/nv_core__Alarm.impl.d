@@ -1,0 +1,1 @@
+lib/core/alarm.ml: Array Format Nv_os Nv_vm String

@@ -1,0 +1,1 @@
+lib/core/alarm.mli: Format Nv_vm

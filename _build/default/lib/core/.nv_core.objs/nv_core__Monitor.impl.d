@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Alarm Array Format Fun Hashtbl List Logs Nv_os Nv_util Nv_vm Option Printf Reexpression String Variation

@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Alarm Nv_os Nv_vm Variation

@@ -1,0 +1,1 @@
+lib/core/nsystem.ml: Array List Monitor Nv_os Printf Reexpression Variation

@@ -1,0 +1,1 @@
+lib/core/nsystem.mli: Monitor Nv_os Nv_vm Variation

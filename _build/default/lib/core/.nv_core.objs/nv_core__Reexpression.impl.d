@@ -1,0 +1,1 @@
+lib/core/reexpression.ml: Fun Nv_vm Printf

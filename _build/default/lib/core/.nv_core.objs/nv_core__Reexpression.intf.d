@@ -1,0 +1,1 @@
+lib/core/reexpression.mli: Nv_vm

@@ -1,0 +1,54 @@
+type reason =
+  | Variant_fault of { variant : int; fault : Nv_vm.Cpu.fault }
+  | Variant_halted of { variant : int }
+  | Syscall_mismatch of { numbers : int array }
+  | Arg_mismatch of { syscall : int; arg_index : int; values : int array }
+  | Output_mismatch of { syscall : int; fd : int }
+  | Cond_mismatch of { values : int array }
+  | Exit_mismatch of { statuses : int array }
+  | Signal_delivery_failed of { variant : int; detail : string }
+
+let pp_array pp_elem ppf arr =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; " (Array.to_list (Array.map (Format.asprintf "%a" pp_elem) arr)))
+
+let pp_int ppf = Format.fprintf ppf "%d"
+
+let pp_hex ppf = Format.fprintf ppf "0x%08X"
+
+let pp ppf = function
+  | Variant_fault { variant; fault } ->
+    Format.fprintf ppf "variant %d entered an alarm state: %a" variant Nv_vm.Cpu.pp_fault
+      fault
+  | Variant_halted { variant } ->
+    Format.fprintf ppf "variant %d halted outside the kernel interface" variant
+  | Syscall_mismatch { numbers } ->
+    Format.fprintf ppf "variants made different system calls: %s"
+      (String.concat " vs "
+         (Array.to_list (Array.map Nv_os.Syscall.name numbers)))
+  | Arg_mismatch { syscall; arg_index; values } ->
+    Format.fprintf ppf "%s: canonical argument %d differs across variants: %a"
+      (Nv_os.Syscall.name syscall) arg_index (pp_array pp_hex) values
+  | Output_mismatch { syscall; fd } ->
+    Format.fprintf ppf "%s: variants wrote different bytes to shared fd %d"
+      (Nv_os.Syscall.name syscall) fd
+  | Cond_mismatch { values } ->
+    Format.fprintf ppf "cond_chk: variants took different paths: %a" (pp_array pp_int)
+      values
+  | Exit_mismatch { statuses } ->
+    Format.fprintf ppf "variants exited with different statuses: %a" (pp_array pp_int)
+      statuses
+  | Signal_delivery_failed { variant; detail } ->
+    Format.fprintf ppf "signal delivery failed in variant %d: %s" variant detail
+
+let to_string reason = Format.asprintf "%a" pp reason
+
+let short_label = function
+  | Variant_fault _ -> "fault"
+  | Variant_halted _ -> "halt"
+  | Syscall_mismatch _ -> "syscall"
+  | Arg_mismatch _ -> "arg"
+  | Output_mismatch _ -> "output"
+  | Cond_mismatch _ -> "cond"
+  | Exit_mismatch _ -> "exit"
+  | Signal_delivery_failed _ -> "signal"

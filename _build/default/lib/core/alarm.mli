@@ -1,0 +1,36 @@
+(** Divergence alarms raised by the monitor.
+
+    Any divergence between variants is interpreted as an attack
+    (Section 1: "instead of using a majority vote we interpret any
+    divergence in behavior as a security violation"). The alarm reason
+    records which check failed, for the attack-matrix reporting. *)
+
+type reason =
+  | Variant_fault of { variant : int; fault : Nv_vm.Cpu.fault }
+      (** One variant entered an alarm state (segfault, bad tag...) —
+          the detection path of address partitioning and tagging. *)
+  | Variant_halted of { variant : int }
+      (** A variant executed [halt] instead of exiting via the kernel. *)
+  | Syscall_mismatch of { numbers : int array }
+      (** Variants trapped on different system calls. *)
+  | Arg_mismatch of { syscall : int; arg_index : int; values : int array }
+      (** A (canonicalized) argument differed across variants; for UID
+          arguments the values are post-[R^-1], so this is the paper's
+          core detection point for corrupted UIDs. *)
+  | Output_mismatch of { syscall : int; fd : int }
+      (** Variants tried to write different bytes to a shared
+          descriptor (e.g. a UID leaking into a log message). *)
+  | Cond_mismatch of { values : int array }
+      (** [cond_chk] saw different truth values (Table 2). *)
+  | Exit_mismatch of { statuses : int array }
+  | Signal_delivery_failed of { variant : int; detail : string }
+      (** An asynchronous-event handler misbehaved during delivery
+          (made a system call, faulted, or looped). *)
+
+val pp : Format.formatter -> reason -> unit
+
+val to_string : reason -> string
+
+val short_label : reason -> string
+(** One-word class for tables: ["fault"], ["halt"], ["syscall"],
+    ["arg"], ["output"], ["cond"], ["exit"]. *)

@@ -1,0 +1,566 @@
+module Cpu = Nv_vm.Cpu
+module Word = Nv_vm.Word
+module Memory = Nv_vm.Memory
+module Image = Nv_vm.Image
+module Kernel = Nv_os.Kernel
+module Syscall = Nv_os.Syscall
+module Sysabi = Nv_os.Sysabi
+
+
+type outcome = Exited of int | Alarm of Alarm.reason | Blocked_on_accept | Out_of_fuel
+
+type event = { ev_syscall : int; ev_raw_args : int array array; ev_note : string }
+
+type signal_mode = Immediate of { after_instructions : int } | At_rendezvous
+
+type pending_signal = {
+  handler : string;
+  mode : signal_mode;
+  baselines : int array;  (* instructions retired per variant at post time *)
+  delivered : bool array;
+}
+
+type t = {
+  kernel : Kernel.t;
+  variation : Variation.t;
+  variants : Image.loaded array;
+  mutable rendezvous : int;
+  mutable tracer : (event -> unit) option;
+  mutable signal : pending_signal option;
+  call_histogram : (int, int) Hashtbl.t;
+  mutable input_bytes_replicated : int;
+  mutable output_writes_checked : int;
+  mutable signals_delivered : int;
+}
+
+let create ?(segment_size = 1 lsl 20) ?(stack_size = 64 * 1024) ~kernel ~variation images =
+  let n = Variation.count variation in
+  if Array.length images <> n then
+    invalid_arg "Monitor.create: need exactly one image per variant";
+  if Kernel.variants kernel <> n then
+    invalid_arg "Monitor.create: kernel variant count mismatch";
+  List.iter (Kernel.register_unshared kernel) variation.Variation.unshared_paths;
+  let variants =
+    Array.mapi
+      (fun i image ->
+        let spec = variation.Variation.variants.(i) in
+        Image.load ~stack_size image ~base:spec.Variation.base ~size:segment_size
+          ~tag:spec.Variation.tag)
+      images
+  in
+  {
+    kernel;
+    variation;
+    variants;
+    rendezvous = 0;
+    tracer = None;
+    signal = None;
+    call_histogram = Hashtbl.create 32;
+    input_bytes_replicated = 0;
+    output_writes_checked = 0;
+    signals_delivered = 0;
+  }
+
+let kernel t = t.kernel
+
+let variation t = t.variation
+
+let variant_count t = Array.length t.variants
+
+let loaded t i = t.variants.(i)
+
+let instructions_retired t =
+  Array.fold_left (fun acc v -> acc + Cpu.instructions_retired v.Image.cpu) 0 t.variants
+
+let rendezvous_count t = t.rendezvous
+
+type stats = {
+  st_rendezvous : int;
+  st_instructions : int array;
+  st_calls : (string * int) list;
+  st_input_bytes_replicated : int;
+  st_output_writes_checked : int;
+  st_signals_delivered : int;
+}
+
+let stats t =
+  {
+    st_rendezvous = t.rendezvous;
+    st_instructions =
+      Array.map (fun v -> Cpu.instructions_retired v.Image.cpu) t.variants;
+    st_calls =
+      Hashtbl.fold (fun n count acc -> (Syscall.name n, count) :: acc) t.call_histogram []
+      |> List.sort compare;
+    st_input_bytes_replicated = t.input_bytes_replicated;
+    st_output_writes_checked = t.output_writes_checked;
+    st_signals_delivered = t.signals_delivered;
+  }
+
+let set_tracer t f = t.tracer <- Some f
+
+let all_equal arr = Array.for_all (fun x -> x = arr.(0)) arr
+
+(* The alarm raised as soon as checking fails; carries no resources. *)
+exception Alarm_exn of Alarm.reason
+
+(* A variant handed the kernel a bad pointer: equivalent to the fault
+   the hardware would raise on copy_from_user. *)
+exception Marshal_fault of { variant : int; fault : Cpu.fault }
+
+let uid_spec t i = t.variation.Variation.variants.(i).Variation.uid
+
+(* ------------------------------------------------------------------ *)
+(* Argument canonicalization                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Raw register argument [index] from each variant; must be identical. *)
+let canon_int _t ~raws ~syscall ~index =
+  let values = Array.map (fun (r : Sysabi.raw) -> r.Sysabi.args.(index)) raws in
+  if not (all_equal values) then
+    raise (Alarm_exn (Alarm.Arg_mismatch { syscall; arg_index = index; values }));
+  values.(0)
+
+(* UID argument: apply each variant's inverse reexpression, then check
+   the canonical values agree (Section 3.5). *)
+let canon_uid t ~raws ~syscall ~index =
+  let values =
+    Array.mapi
+      (fun i (r : Sysabi.raw) -> (uid_spec t i).Reexpression.decode r.Sysabi.args.(index))
+      raws
+  in
+  if not (all_equal values) then
+    raise (Alarm_exn (Alarm.Arg_mismatch { syscall; arg_index = index; values }));
+  values.(0)
+
+(* Pointer argument: canonicalize to a segment offset per variant. *)
+let canon_ptr t ~raws ~syscall ~index =
+  let offsets =
+    Array.mapi
+      (fun i (r : Sysabi.raw) ->
+        let addr = r.Sysabi.args.(index) in
+        let memory = t.variants.(i).Image.memory in
+        match Memory.to_offset memory addr with
+        | offset -> offset
+        | exception Memory.Fault { addr; access } ->
+          raise (Marshal_fault { variant = i; fault = Cpu.Segfault { addr; access } }))
+      raws
+  in
+  if not (all_equal offsets) then
+    raise (Alarm_exn (Alarm.Arg_mismatch { syscall; arg_index = index; values = offsets }));
+  Array.map (fun (r : Sysabi.raw) -> r.Sysabi.args.(index)) raws
+
+(* NUL-terminated string argument: contents must be identical. *)
+let canon_string t ~raws ~syscall ~index =
+  let _ = canon_ptr t ~raws ~syscall ~index in
+  let strings =
+    Array.mapi
+      (fun i (r : Sysabi.raw) ->
+        let memory = t.variants.(i).Image.memory in
+        match Sysabi.read_string memory ~addr:r.Sysabi.args.(index) with
+        | s -> s
+        | exception Memory.Fault { addr; access } ->
+          raise (Marshal_fault { variant = i; fault = Cpu.Segfault { addr; access } }))
+      raws
+  in
+  if not (all_equal strings) then
+    raise
+      (Alarm_exn
+         (Alarm.Arg_mismatch
+            { syscall; arg_index = index; values = Array.map String.length strings }));
+  strings.(0)
+
+let deliver t per_variant_results =
+  Array.iteri
+    (fun i result -> Sysabi.set_result t.variants.(i).Image.cpu result)
+    per_variant_results
+
+let deliver_same t result = deliver t (Array.make (Array.length t.variants) result)
+
+let trace t ~syscall ~raws note =
+  match t.tracer with
+  | None -> ()
+  | Some f ->
+    f
+      {
+        ev_syscall = syscall;
+        ev_raw_args = Array.map (fun (r : Sysabi.raw) -> Array.copy r.Sysabi.args) raws;
+        ev_note = note;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Rendezvous dispatch                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Returns [None] to keep running, [Some outcome] to stop. *)
+let dispatch t (raws : Sysabi.raw array) =
+  let syscall = raws.(0).Sysabi.number in
+  Hashtbl.replace t.call_histogram syscall
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.call_histogram syscall));
+  let k = t.kernel in
+  let continue_ = None in
+  match syscall with
+  | n when n = Syscall.sys_exit ->
+    let statuses = Array.map (fun (r : Sysabi.raw) -> Word.to_signed r.Sysabi.args.(0)) raws in
+    if not (all_equal statuses) then raise (Alarm_exn (Alarm.Exit_mismatch { statuses }));
+    trace t ~syscall ~raws (Printf.sprintf "exit(%d) checked across variants" statuses.(0));
+    ignore (Kernel.sys_exit k ~status:statuses.(0));
+    Some (Exited statuses.(0))
+  | n when n = Syscall.sys_read ->
+    let fd = Word.to_signed (canon_int t ~raws ~syscall ~index:0) in
+    (* For unshared descriptors each variant performs its own read on
+       its own diversified file (Section 3.4), so buffer pointers are
+       not required to canonicalize to the same offset — content
+       lengths differ legitimately, and so may derived pointers. *)
+    let bufs =
+      if Kernel.fd_is_unshared k ~fd then
+        Array.map (fun (r : Sysabi.raw) -> r.Sysabi.args.(1)) raws
+      else canon_ptr t ~raws ~syscall ~index:1
+    in
+    let len = Word.to_signed (canon_int t ~raws ~syscall ~index:2) in
+    let count, data = Kernel.sys_read k ~fd ~len in
+    (match data with
+    | Kernel.Shared_data bytes ->
+      t.input_bytes_replicated <- t.input_bytes_replicated + max 0 count;
+      trace t ~syscall ~raws
+        (Printf.sprintf "read(%d): performed once, %d bytes replicated to all variants" fd
+           count);
+      Array.iteri
+        (fun i buf ->
+          if count > 0 then
+            try Sysabi.write_bytes t.variants.(i).Image.memory ~addr:buf bytes
+            with Memory.Fault { addr; access } ->
+              raise (Marshal_fault { variant = i; fault = Cpu.Segfault { addr; access } }))
+        bufs;
+      deliver_same t (Word.of_signed count)
+    | Kernel.Per_variant chunks ->
+      trace t ~syscall ~raws
+        (Printf.sprintf "read(%d): unshared file, each variant reads its own copy" fd);
+      Array.iteri
+        (fun i buf ->
+          let bytes = chunks.(i) in
+          if String.length bytes > 0 then begin
+            try Sysabi.write_bytes t.variants.(i).Image.memory ~addr:buf bytes
+            with Memory.Fault { addr; access } ->
+              raise (Marshal_fault { variant = i; fault = Cpu.Segfault { addr; access } })
+          end)
+        bufs;
+      deliver t (Array.map (fun c -> Word.mask (String.length c)) chunks));
+    continue_
+  | n when n = Syscall.sys_write ->
+    let fd = Word.to_signed (canon_int t ~raws ~syscall ~index:0) in
+    let unshared = Kernel.fd_is_unshared k ~fd in
+    let bufs =
+      if unshared then Array.map (fun (r : Sysabi.raw) -> r.Sysabi.args.(1)) raws
+      else canon_ptr t ~raws ~syscall ~index:1
+    in
+    let lens =
+      if unshared then
+        Array.map (fun (r : Sysabi.raw) -> Word.to_signed r.Sysabi.args.(2)) raws
+      else
+        Array.make (Array.length raws) (Word.to_signed (canon_int t ~raws ~syscall ~index:2))
+    in
+    let chunks =
+      Array.mapi
+        (fun i buf ->
+          try Sysabi.read_bytes t.variants.(i).Image.memory ~addr:buf ~len:lens.(i)
+          with Memory.Fault { addr; access } ->
+            raise (Marshal_fault { variant = i; fault = Cpu.Segfault { addr; access } }))
+        bufs
+    in
+    if Kernel.fd_is_unshared k ~fd then begin
+      trace t ~syscall ~raws "write: unshared file, each variant writes its own copy";
+      deliver_same t (Word.of_signed (Kernel.sys_write k ~fd ~data:(Kernel.Per_variant chunks)))
+    end
+    else begin
+      if not (all_equal chunks) then begin
+        Logs.warn ~src:Nv_util.Logsrc.monitor (fun m ->
+            m "output divergence on fd %d" fd);
+        raise (Alarm_exn (Alarm.Output_mismatch { syscall; fd }))
+      end;
+      t.output_writes_checked <- t.output_writes_checked + 1;
+      trace t ~syscall ~raws
+        (Printf.sprintf "write(%d): bytes checked equal, performed once" fd);
+      deliver_same t (Word.of_signed (Kernel.sys_write k ~fd ~data:(Kernel.Shared_data chunks.(0))))
+    end;
+    continue_
+  | n when n = Syscall.sys_open ->
+    let path = canon_string t ~raws ~syscall ~index:0 in
+    let flags = Word.to_signed (canon_int t ~raws ~syscall ~index:1) in
+    let note =
+      if Kernel.is_unshared k path then
+        Printf.sprintf "open(%S): unshared, variant i gets %s-i" path path
+      else Printf.sprintf "open(%S): shared descriptor" path
+    in
+    trace t ~syscall ~raws note;
+    deliver_same t (Word.of_signed (Kernel.sys_open k ~path ~flags));
+    continue_
+  | n when n = Syscall.sys_close ->
+    let fd = Word.to_signed (canon_int t ~raws ~syscall ~index:0) in
+    deliver_same t (Word.of_signed (Kernel.sys_close k ~fd));
+    continue_
+  | n when n = Syscall.sys_accept ->
+    let fd = Kernel.sys_accept k in
+    if fd = Kernel.eagain then begin
+      Array.iter (fun v -> Sysabi.retry_syscall v.Image.cpu) t.variants;
+      Some Blocked_on_accept
+    end
+    else begin
+      trace t ~syscall ~raws (Printf.sprintf "accept -> fd %d for all variants" fd);
+      deliver_same t (Word.of_signed fd);
+      continue_
+    end
+  | n when n = Syscall.sys_getuid || n = Syscall.sys_geteuid || n = Syscall.sys_getgid
+           || n = Syscall.sys_getegid ->
+    let canonical =
+      if n = Syscall.sys_getuid then Kernel.sys_getuid k
+      else if n = Syscall.sys_geteuid then Kernel.sys_geteuid k
+      else if n = Syscall.sys_getgid then Kernel.sys_getgid k
+      else Kernel.sys_getegid k
+    in
+    let per_variant =
+      Array.init (Array.length t.variants) (fun i ->
+          (uid_spec t i).Reexpression.encode canonical)
+    in
+    trace t ~syscall ~raws
+      (Format.asprintf "%s -> canonical %a, reexpressed per variant" (Syscall.name n)
+         Word.pp canonical);
+    deliver t per_variant;
+    continue_
+  | n when n = Syscall.sys_setuid || n = Syscall.sys_seteuid || n = Syscall.sys_setgid
+           || n = Syscall.sys_setegid ->
+    let canonical = canon_uid t ~raws ~syscall ~index:0 in
+    let result =
+      if n = Syscall.sys_setuid then Kernel.sys_setuid k ~uid:canonical
+      else if n = Syscall.sys_seteuid then Kernel.sys_seteuid k ~uid:canonical
+      else if n = Syscall.sys_setgid then Kernel.sys_setgid k ~gid:canonical
+      else Kernel.sys_setegid k ~gid:canonical
+    in
+    trace t ~syscall ~raws
+      (Format.asprintf "%s: R_i^-1 applied, canonical %a agreed, performed once"
+         (Syscall.name n) Word.pp canonical);
+    deliver_same t (Word.of_signed result);
+    continue_
+  | n when n = Syscall.sys_uid_value ->
+    (* Table 2: compare across variants (post-inverse), return the
+       passed (still reexpressed) value to each variant. *)
+    let canonical = canon_uid t ~raws ~syscall ~index:0 in
+    trace t ~syscall ~raws
+      (Format.asprintf "uid_value: canonical %a equivalent in all variants" Word.pp
+         canonical);
+    deliver t (Array.map (fun (r : Sysabi.raw) -> r.Sysabi.args.(0)) raws);
+    continue_
+  | n when n = Syscall.sys_cond_chk ->
+    (* Table 2: condition values are plain booleans, identical in all
+       variants or the variants are taking different paths. *)
+    let values = Array.map (fun (r : Sysabi.raw) -> r.Sysabi.args.(0)) raws in
+    if not (all_equal values) then raise (Alarm_exn (Alarm.Cond_mismatch { values }));
+    trace t ~syscall ~raws (Printf.sprintf "cond_chk(%d): paths agree" values.(0));
+    deliver_same t values.(0);
+    continue_
+  | n when Syscall.is_detection_call n ->
+    (* cc_eq .. cc_geq: both UID arguments are decoded and checked,
+       then the comparison is computed once on canonical values. *)
+    let a = canon_uid t ~raws ~syscall ~index:0 in
+    let b = canon_uid t ~raws ~syscall ~index:1 in
+    let result =
+      if n = Syscall.sys_cc_eq then a = b
+      else if n = Syscall.sys_cc_neq then a <> b
+      else if n = Syscall.sys_cc_lt then Word.lt_unsigned a b
+      else if n = Syscall.sys_cc_leq then not (Word.lt_unsigned b a)
+      else if n = Syscall.sys_cc_gt then Word.lt_unsigned b a
+      else not (Word.lt_unsigned a b)
+    in
+    trace t ~syscall ~raws
+      (Format.asprintf "%s(%a, %a) = %b on canonical values" (Syscall.name n) Word.pp a
+         Word.pp b result);
+    deliver_same t (if result then 1 else 0);
+    continue_
+  | _ ->
+    trace t ~syscall ~raws "unknown syscall: -1 to all variants";
+    deliver_same t (Word.of_signed (-1));
+    continue_
+
+(* ------------------------------------------------------------------ *)
+(* Asynchronous event delivery                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The handler "returns" by jumping to this unmapped, recognizable
+   address; the resulting execute fault marks completion. *)
+let signal_return_address = 0xFFFFFFF4
+
+let post_signal t ~handler ~mode =
+  if t.signal <> None then Error "a signal is already pending"
+  else if
+    Array.exists
+      (fun v -> not (List.mem_assoc handler v.Image.layout.Image.abs_symbols))
+      t.variants
+  then Error (Printf.sprintf "handler %S is not defined in every variant" handler)
+  else begin
+    t.signal <-
+      Some
+        {
+          handler;
+          mode;
+          baselines = Array.map (fun v -> Cpu.instructions_retired v.Image.cpu) t.variants;
+          delivered = Array.map (fun _ -> false) t.variants;
+        };
+    Ok ()
+  end
+
+let signal_pending t = t.signal <> None
+
+(* Run the handler to completion in variant [i] as a synchronous
+   subroutine, preserving the interrupted context. *)
+let deliver_signal t i ~handler =
+  let v = t.variants.(i) in
+  let cpu = v.Image.cpu in
+  let failed detail =
+    raise (Alarm_exn (Alarm.Signal_delivery_failed { variant = i; detail }))
+  in
+  let saved_regs = Array.init 16 (Cpu.reg cpu) in
+  let saved_pc = Cpu.pc cpu in
+  (match
+     let sp = Word.sub (Cpu.reg cpu Cpu.sp_index) 4 in
+     Memory.store_word v.Image.memory sp signal_return_address;
+     Cpu.set_reg cpu Cpu.sp_index sp;
+     Cpu.set_pc cpu (Image.abs_symbol v handler)
+   with
+  | () -> ()
+  | exception Memory.Fault _ -> failed "no stack space for the handler frame"
+  | exception Not_found -> failed "handler symbol vanished");
+  (match Cpu.run cpu ~fuel:1_000_000 with
+  | Cpu.Trapped (Cpu.Fault_trap (Cpu.Segfault { addr; access = Memory.Execute }))
+    when addr = signal_return_address ->
+    ()
+  | Cpu.Trapped Cpu.Syscall_trap -> failed "handler made a system call"
+  | Cpu.Trapped trap -> failed (Format.asprintf "handler trapped: %a" Cpu.pp_trap trap)
+  | Cpu.Out_of_fuel -> failed "handler did not terminate");
+  Array.iteri (fun r value -> Cpu.set_reg cpu r value) saved_regs;
+  Cpu.set_pc cpu saved_pc;
+  t.signals_delivered <- t.signals_delivered + 1
+
+let clear_if_fully_delivered t =
+  match t.signal with
+  | Some s when Array.for_all Fun.id s.delivered -> t.signal <- None
+  | Some _ | None -> ()
+
+(* Run variant [i] to its next trap, honouring a pending Immediate
+   signal: once the variant crosses its delivery threshold, the handler
+   is injected and execution continues. *)
+let run_variant_to_trap t i ~fuel =
+  let cpu = t.variants.(i).Image.cpu in
+  let rec go fuel =
+    if fuel <= 0 then Cpu.Out_of_fuel
+    else begin
+      match t.signal with
+      | Some ({ mode = Immediate { after_instructions }; _ } as s)
+        when not s.delivered.(i) -> (
+        let due = s.baselines.(i) + after_instructions - Cpu.instructions_retired cpu in
+        if due <= 0 then begin
+          deliver_signal t i ~handler:s.handler;
+          s.delivered.(i) <- true;
+          clear_if_fully_delivered t;
+          go fuel
+        end
+        else begin
+          match Cpu.run cpu ~fuel:(min due fuel) with
+          | Cpu.Out_of_fuel when due <= fuel ->
+            (* Reached the delivery point without trapping. *)
+            deliver_signal t i ~handler:s.handler;
+            s.delivered.(i) <- true;
+            clear_if_fully_delivered t;
+            go (fuel - due)
+          | outcome -> outcome
+        end)
+      | Some _ | None -> Cpu.run cpu ~fuel
+    end
+  in
+  go fuel
+
+(* ------------------------------------------------------------------ *)
+(* Lockstep execution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(fuel = 50_000_000) t =
+  let deadline = instructions_retired t + fuel in
+  let rec loop () =
+    let remaining = deadline - instructions_retired t in
+    if remaining <= 0 then Out_of_fuel
+    else begin
+      (* Run each variant to its next trap. *)
+      match
+        Array.mapi
+          (fun i _ ->
+            match run_variant_to_trap t i ~fuel:remaining with
+            | Cpu.Trapped trap -> Some trap
+            | Cpu.Out_of_fuel -> None)
+          t.variants
+      with
+      | exception Alarm_exn reason ->
+        Logs.info ~src:Nv_util.Logsrc.monitor (fun m -> m "alarm: %a" Alarm.pp reason);
+        Alarm reason
+      | traps ->
+      if Array.exists Option.is_none traps then Out_of_fuel
+      else begin
+        let traps = Array.map Option.get traps in
+        (* Faults and halts are alarm states. *)
+        let alarm = ref None in
+        Array.iteri
+          (fun i trap ->
+            if !alarm = None then begin
+              match trap with
+              | Cpu.Fault_trap fault ->
+                alarm := Some (Alarm.Variant_fault { variant = i; fault })
+              | Cpu.Halt_trap -> alarm := Some (Alarm.Variant_halted { variant = i })
+              | Cpu.Syscall_trap -> ()
+            end)
+          traps;
+        match !alarm with
+        | Some reason ->
+          Logs.info ~src:Nv_util.Logsrc.monitor (fun m -> m "alarm: %a" Alarm.pp reason);
+          Alarm reason
+        | None -> (
+          t.rendezvous <- t.rendezvous + 1;
+          (* Synchronized signal delivery: every variant is parked at an
+             equivalent rendezvous point (trapped, pc already past the
+             syscall instruction, trap context preserved by the
+             synchronous handler run), so handlers execute in lockstep
+             and the rendezvous then proceeds normally. *)
+          let delivery =
+            match t.signal with
+            | Some ({ mode = At_rendezvous; _ } as s) -> (
+              try
+                Array.iteri
+                  (fun i _ ->
+                    if not s.delivered.(i) then begin
+                      deliver_signal t i ~handler:s.handler;
+                      s.delivered.(i) <- true
+                    end)
+                  t.variants;
+                clear_if_fully_delivered t;
+                Ok ()
+              with Alarm_exn reason -> Error reason)
+            | Some _ | None -> Ok ()
+          in
+          match delivery with
+          | Error reason ->
+            Logs.info ~src:Nv_util.Logsrc.monitor (fun m -> m "alarm: %a" Alarm.pp reason);
+            Alarm reason
+          | Ok () ->
+          let raws = Array.map (fun v -> Sysabi.of_cpu v.Image.cpu) t.variants in
+          let numbers = Array.map (fun (r : Sysabi.raw) -> r.Sysabi.number) raws in
+          if not (all_equal numbers) then Alarm (Alarm.Syscall_mismatch { numbers })
+          else begin
+            match dispatch t raws with
+            | None -> loop ()
+            | Some outcome -> outcome
+            | exception Alarm_exn reason ->
+              Logs.info ~src:Nv_util.Logsrc.monitor (fun m -> m "alarm: %a" Alarm.pp reason);
+              Alarm reason
+            | exception Marshal_fault { variant; fault } ->
+              Alarm (Alarm.Variant_fault { variant; fault })
+          end)
+      end
+    end
+  in
+  loop ()

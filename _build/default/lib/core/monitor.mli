@@ -1,0 +1,127 @@
+(** The N-variant monitor: syscall-boundary rendezvous, input
+    replication, equivalence checking, and reexpression at the kernel
+    interface.
+
+    This is the OCaml analogue of the paper's modified Linux kernel
+    (Section 3.1): variants are synchronized at system calls; the
+    monitor checks that all variants make the same call with equivalent
+    (canonicalized) arguments, performs input system calls once and
+    replicates the result, performs output system calls once after
+    checking the variants agree on the bytes, applies [R_i^-1] to
+    UID-typed arguments before checking and the kernel call, applies
+    [R_i] to UID-typed results per variant, and implements the Table 2
+    detection system calls. Unshared-file I/O is performed per variant
+    by the kernel.
+
+    Canonicalization (Section 2.1's normal-equivalence function):
+    pointer arguments are compared as segment-relative offsets, UID
+    arguments as [R_i^-1] images. *)
+
+type outcome =
+  | Exited of int
+  | Alarm of Alarm.reason
+  | Blocked_on_accept
+      (** every variant is parked on [accept]; connect a client and
+          call {!run} again *)
+  | Out_of_fuel
+
+type event = {
+  ev_syscall : int;
+  ev_raw_args : int array array;  (** [variant][arg 0..4] as trapped *)
+  ev_note : string;  (** human-readable canonicalization summary *)
+}
+(** One rendezvous, for the Figure 2 trace demo. *)
+
+type t
+
+val create :
+  ?segment_size:int ->
+  ?stack_size:int ->
+  kernel:Nv_os.Kernel.t ->
+  variation:Variation.t ->
+  Nv_vm.Image.t array ->
+  t
+(** [create ~kernel ~variation images] loads [images.(i)] according to
+    [variation.variants.(i)] (base, tag) and registers the variation's
+    unshared paths with the kernel. [images] must have exactly one
+    image per variant (pass the same image several times for
+    non-data-diversity variations); the kernel must have been created
+    with a matching [~variants] count. Default segment size 1 MiB. *)
+
+val kernel : t -> Nv_os.Kernel.t
+val variation : t -> Variation.t
+val variant_count : t -> int
+
+val loaded : t -> int -> Nv_vm.Image.loaded
+(** The loaded instance of variant [i] (used by attack payload
+    builders to resolve symbol addresses). *)
+
+val run : ?fuel:int -> t -> outcome
+(** Execute in lockstep until exit, alarm, accept-block, or the fuel
+    budget (total guest instructions across all variants, default 50
+    million) is exhausted. Resumable after [Blocked_on_accept]. *)
+
+val instructions_retired : t -> int
+(** Total instructions across all variants — the redundant-computation
+    cost that Table 3's saturated-throughput halving comes from. *)
+
+val rendezvous_count : t -> int
+(** Syscall rendezvous points so far (each costs one monitor check). *)
+
+type stats = {
+  st_rendezvous : int;
+  st_instructions : int array;  (** retired, per variant *)
+  st_calls : (string * int) list;  (** rendezvous per syscall name, sorted *)
+  st_input_bytes_replicated : int;
+      (** bytes of shared input performed once and copied to every
+          variant *)
+  st_output_writes_checked : int;
+      (** shared writes whose bytes were compared across variants *)
+  st_signals_delivered : int;
+}
+
+val stats : t -> stats
+(** Aggregate counters since creation — the observability surface the
+    operator of an N-variant deployment would watch. *)
+
+val set_tracer : t -> (event -> unit) -> unit
+(** Install a rendezvous observer (Figure 2 demo). *)
+
+(** {1 Asynchronous events (signals)}
+
+    Section 3.1 flags scheduling divergence from asynchronous signal
+    delivery as an open issue of the framework ("if a signal is
+    delivered to variants at different points in their execution, their
+    behaviors may diverge. This leads to a false attack detection"),
+    and credits Bruschi et al. with steps toward simultaneous delivery.
+    Both deliveries are implemented here:
+
+    - {!Immediate} models a naive kernel: the handler is forced into
+      each variant once that variant has retired a fixed number of
+      further instructions. When data diversity makes the variants'
+      instruction streams drift (e.g. while parsing different-length
+      unshared files), the same count lands at {e different logical
+      points} and normal equivalence can break — the false-detection
+      hazard, reproducible on demand.
+    - {!At_rendezvous} is the synchronized discipline: delivery is
+      deferred to the next syscall rendezvous, where every variant is
+      at an equivalent state, so handlers run in lockstep.
+
+    Handler contract: a handler is a guest function of no arguments
+    that mutates globals and returns; it must not make system calls
+    (delivery is a synchronous monitor-driven subroutine execution,
+    outside the lockstep protocol). A handler that traps raises a
+    {!Alarm.Signal_delivery_failed} alarm. *)
+
+type signal_mode =
+  | Immediate of { after_instructions : int }
+      (** deliver once the variant has retired this many further
+          instructions *)
+  | At_rendezvous  (** deliver at the next syscall rendezvous *)
+
+val post_signal : t -> handler:string -> mode:signal_mode -> (unit, string) result
+(** Queue one asynchronous event for every variant. Fails if [handler]
+    is not a symbol of every variant's image, or if a signal is already
+    pending. *)
+
+val signal_pending : t -> bool

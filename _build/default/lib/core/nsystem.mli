@@ -1,0 +1,56 @@
+(** Whole-system assembly: filesystem world, kernel, monitor.
+
+    [Nsystem] wires together everything a deployment needs: a VFS
+    populated with the trusted UID-bearing files ({e and} their
+    reexpressed per-variant copies for the variation's unshared paths),
+    a kernel with the right variant count, and a monitor running one
+    loaded image per variant. *)
+
+type t
+
+val standard_vfs : variation:Variation.t -> unit -> Nv_os.Vfs.t
+(** A small realistic world:
+    - [/etc/passwd], [/etc/group] from {!Nv_os.Passwd.sample};
+    - for each unshared path of the variation, diversified copies
+      [path-i] produced with variant [i]'s reexpression function;
+    - [/secret/shadow] readable only by root (mode 0600) — the target
+      the UID-corruption attack tries to reach;
+    - an empty world-writable [/var/log/httpd.log]. *)
+
+val create :
+  ?vfs:Nv_os.Vfs.t ->
+  ?segment_size:int ->
+  variation:Variation.t ->
+  Nv_vm.Image.t array ->
+  t
+(** Build the system. [images] as in {!Monitor.create}. When [vfs] is
+    omitted, {!standard_vfs} is used. *)
+
+val of_one_image :
+  ?vfs:Nv_os.Vfs.t -> ?segment_size:int -> variation:Variation.t -> Nv_vm.Image.t -> t
+(** Same image replicated to every variant — correct for every
+    variation except data diversity, whose variant 1 runs transformed
+    code. *)
+
+val kernel : t -> Nv_os.Kernel.t
+val monitor : t -> Monitor.t
+val variation : t -> Variation.t
+
+val connect : t -> Nv_os.Socket.conn
+(** Open a client connection to the guest server's listener. *)
+
+val run : ?fuel:int -> t -> Monitor.outcome
+(** Step the whole system (delegates to {!Monitor.run}). *)
+
+type serve_result =
+  | Served of string  (** the response bytes the client received *)
+  | Stopped of Monitor.outcome
+      (** the system alarmed, exited, or ran out of fuel mid-request *)
+
+val serve : ?fuel:int -> t -> string -> serve_result
+(** [serve t request] drives one full client interaction against a
+    server guest: run until the system parks on [accept], connect a
+    client, send [request], run until the system parks on [accept]
+    again (response complete) or stops, and return what the client
+    received. This is the workhorse of the attack campaign and the
+    WebBench-style load generator. *)

@@ -1,0 +1,65 @@
+module Word = Nv_vm.Word
+
+type t = { name : string; encode : Word.t -> Word.t; decode : Word.t -> Word.t }
+
+let identity = { name = "identity"; encode = Fun.id; decode = Fun.id }
+
+let xor_key ~key =
+  {
+    name = Printf.sprintf "xor 0x%08X" key;
+    encode = (fun u -> Word.logxor u key);
+    decode = (fun u -> Word.logxor u key);
+  }
+
+let paper_uid_key = 0x7FFFFFFF
+
+let uid_for_variant index = if index = 0 then identity else xor_key ~key:paper_uid_key
+
+let inverse_holds t x = t.decode (t.encode x) = x
+
+let disjoint_at a b x = a.decode x <> b.decode x
+
+type table1_row = {
+  variation : string;
+  target_type : string;
+  r0 : string;
+  r1 : string;
+  r0_inv : string;
+  r1_inv : string;
+}
+
+let table1 =
+  [
+    {
+      variation = "Address Space Partitioning [16]";
+      target_type = "Address";
+      r0 = "R0(a) = a";
+      r1 = "R1(a) = a + 0x80000000";
+      r0_inv = "R0^-1(a) = a";
+      r1_inv = "R1^-1(a) = a - 0x80000000";
+    };
+    {
+      variation = "Extended Address Space Partitioning [9]";
+      target_type = "Address";
+      r0 = "R0(a) = a";
+      r1 = "R1(a) = a + 0x80000000 + offset";
+      r0_inv = "R0^-1(a) = a";
+      r1_inv = "R1^-1(a) = a - 0x80000000 - offset";
+    };
+    {
+      variation = "Instruction Set Tagging [16]";
+      target_type = "Instruction";
+      r0 = "R0(inst) = 0 || inst";
+      r1 = "R1(inst) = 1 || inst";
+      r0_inv = "R0^-1(0 || inst) = inst";
+      r1_inv = "R1^-1(1 || inst) = inst";
+    };
+    {
+      variation = "UID Variation (this paper)";
+      target_type = "UID";
+      r0 = "R0(u) = u";
+      r1 = "R1(u) = u ^ 0x7FFFFFFF";
+      r0_inv = "R0^-1(u) = u";
+      r1_inv = "R1^-1(u) = u ^ 0x7FFFFFFF";
+    };
+  ]

@@ -1,0 +1,59 @@
+(** Data reexpression functions (Section 2 / Table 1 of the paper).
+
+    A reexpression function [R] maps canonical data values to a
+    variant's concrete representation; its inverse [R^-1] sits in front
+    of the target interpreter (here: the kernel's UID-bearing system
+    calls). The N-variant security argument needs two properties:
+
+    - {b inverse}: for all x, [decode (encode x) = x];
+    - {b disjointness} (pairwise, between the variants' functions):
+      for all x, [decode_0 x <> decode_1 x] — so a single concrete
+      value injected identically into all variants can never be valid
+      in more than one of them. *)
+
+type t = {
+  name : string;
+  encode : Nv_vm.Word.t -> Nv_vm.Word.t;  (** R *)
+  decode : Nv_vm.Word.t -> Nv_vm.Word.t;  (** R^-1 *)
+}
+
+val identity : t
+(** Variant 0's function in the paper's UID variation. *)
+
+val xor_key : key:Nv_vm.Word.t -> t
+(** [R(u) = u ^ key]; self-inverse. The paper uses [key = 0x7FFFFFFF]
+    rather than [0xFFFFFFFF] because the kernel treats negative UIDs
+    specially — leaving the high bit unflipped, a weakness the attack
+    matrix (experiment X2) reproduces. *)
+
+val paper_uid_key : Nv_vm.Word.t
+(** [0x7FFFFFFF]. *)
+
+val uid_for_variant : int -> t
+(** The paper's UID variation: variant 0 identity, every other variant
+    [xor_key ~key:paper_uid_key]. (The paper only uses two variants;
+    for n > 1 we reuse variant 1's function, which preserves the
+    pairwise-disjointness argument only for variant pairs (0, i).) *)
+
+val inverse_holds : t -> Nv_vm.Word.t -> bool
+(** Check the inverse property at one point. *)
+
+val disjoint_at : t -> t -> Nv_vm.Word.t -> bool
+(** Check the disjointness property of two variants' functions at one
+    point: [decode_0 x <> decode_1 x]. *)
+
+(** {1 Table 1} *)
+
+type table1_row = {
+  variation : string;
+  target_type : string;
+  r0 : string;
+  r1 : string;
+  r0_inv : string;
+  r1_inv : string;
+}
+
+val table1 : table1_row list
+(** The four rows of Table 1 (address-space partitioning, extended
+    partitioning, instruction-set tagging, and this paper's UID
+    variation), for the bench harness to print. *)

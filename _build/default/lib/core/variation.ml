@@ -1,0 +1,94 @@
+type variant_spec = {
+  index : int;
+  base : int;
+  tag : int;
+  uid : Reexpression.t;
+}
+
+type t = { name : string; variants : variant_spec array; unshared_paths : string list }
+
+let count t = Array.length t.variants
+
+let low_base = 0x00010000
+
+let high_base = 0x80010000
+
+let plain_variant index base =
+  { index; base; tag = 0; uid = Reexpression.identity }
+
+let single =
+  { name = "single"; variants = [| plain_variant 0 low_base |]; unshared_paths = [] }
+
+let replicated =
+  {
+    name = "replicated";
+    variants = [| plain_variant 0 low_base; plain_variant 1 low_base |];
+    unshared_paths = [];
+  }
+
+let address_partition =
+  {
+    name = "address-partition";
+    variants = [| plain_variant 0 low_base; plain_variant 1 high_base |];
+    unshared_paths = [];
+  }
+
+let extended_partition ?(offset = 0x4240) () =
+  (* The offset must preserve word alignment, or the two variants'
+     stacks would sit at different segment offsets and every pointer
+     canonicalization would spuriously diverge. *)
+  if offset land 3 <> 0 then
+    invalid_arg "Variation.extended_partition: offset must be word-aligned";
+  {
+    name = Printf.sprintf "extended-partition(+0x%X)" offset;
+    variants = [| plain_variant 0 low_base; plain_variant 1 (high_base + offset) |];
+    unshared_paths = [];
+  }
+
+let instruction_tagging =
+  {
+    name = "instruction-tagging";
+    variants =
+      [|
+        { index = 0; base = low_base; tag = 1; uid = Reexpression.identity };
+        { index = 1; base = low_base; tag = 2; uid = Reexpression.identity };
+      |];
+    unshared_paths = [];
+  }
+
+let uid_diversity =
+  {
+    name = "uid-diversity";
+    variants =
+      [|
+        { index = 0; base = low_base; tag = 0; uid = Reexpression.uid_for_variant 0 };
+        { index = 1; base = high_base; tag = 0; uid = Reexpression.uid_for_variant 1 };
+      |];
+    unshared_paths = [ "/etc/passwd"; "/etc/group" ];
+  }
+
+let full_diversity =
+  {
+    name = "full-diversity";
+    variants =
+      [|
+        { index = 0; base = low_base; tag = 1; uid = Reexpression.uid_for_variant 0 };
+        { index = 1; base = high_base; tag = 2; uid = Reexpression.uid_for_variant 1 };
+      |];
+    unshared_paths = [ "/etc/passwd"; "/etc/group" ];
+  }
+
+let uid_diversity_n n =
+  if n < 1 then invalid_arg "Variation.uid_diversity_n: need at least one variant";
+  {
+    name = Printf.sprintf "uid-diversity-%d" n;
+    variants =
+      Array.init n (fun i ->
+          let base = if i = 0 then low_base else high_base + ((i - 1) * 0x100000) in
+          { index = i; base; tag = 0; uid = Reexpression.uid_for_variant i });
+    unshared_paths = [ "/etc/passwd"; "/etc/group" ];
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%d variant%s)" t.name (count t)
+    (if count t = 1 then "" else "s")

@@ -1,0 +1,82 @@
+(** Variation configurations: how each variant of an N-variant system
+    is diversified.
+
+    A {!variant_spec} fixes, for one variant, its load base (the
+    address-space-partitioning dimension), its instruction tag (the
+    instruction-set-tagging dimension) and its UID reexpression function
+    (this paper's data-diversity dimension). A {!t} bundles the variant
+    specs with the set of unshared trusted files. The four predefined
+    configurations correspond to the evaluation's Table 3 columns and
+    the attack-matrix experiments. *)
+
+type variant_spec = {
+  index : int;
+  base : int;  (** segment load base *)
+  tag : int;  (** expected instruction tag *)
+  uid : Reexpression.t;
+}
+
+type t = {
+  name : string;
+  variants : variant_spec array;
+  unshared_paths : string list;
+      (** trusted files opened per-variant as [path-<i>] *)
+}
+
+val count : t -> int
+
+val low_base : int
+(** 0x00010000 — variant 0's load base. *)
+
+val high_base : int
+(** 0x80010000 — variant 1's base under address partitioning: the high
+    address bit is the partition bit. *)
+
+val single : t
+(** One variant, no diversity: the unprotected baseline
+    (Configurations 1 and 2 of Table 3 when paired with the plain
+    runner semantics). *)
+
+val replicated : t
+(** Two identical variants (same base, no data diversity): isolates the
+    cost of redundant execution alone. *)
+
+val address_partition : t
+(** Two variants at disjoint bases (Figure 1; Configuration 3 of
+    Table 3). *)
+
+val extended_partition : ?offset:int -> unit -> t
+(** Bruschi et al.'s extension (Table 1 row 2): variant 1 is loaded at
+    [high_base + offset] (default offset 0x4240), so corresponding
+    absolute addresses differ in their {e low} bytes too. This makes
+    partial (byte-granularity) overwrites of stored addresses
+    detectable with high probability, where plain partitioning only
+    breaks attacks that inject complete addresses (Section 2.3's
+    discussion). Raises [Invalid_argument] unless [offset] is a
+    multiple of the word size (stack alignment must agree across
+    variants for pointer canonicalization to hold). *)
+
+val instruction_tagging : t
+(** Two variants with distinct instruction tags. *)
+
+val uid_diversity : t
+(** The paper's UID variation (Configuration 4): address partitioning
+    {e plus} UID reexpression in variant 1 {e plus} unshared
+    [/etc/passwd] and [/etc/group]. Composed exactly as in the paper,
+    where Configuration 4 is Configuration 3 with the UID variation
+    added. *)
+
+val full_diversity : t
+(** Composition of all three dimensions (the Section 7 future-work
+    direction): address partitioning + instruction tagging + UID
+    reexpression + unshared files, in two variants. *)
+
+val uid_diversity_n : int -> t
+(** An [n]-variant UID deployment: variant 0 canonical, variants
+    [1..n-1] at staggered bases with the XOR reexpression. Pairwise
+    disjointness holds for every pair involving variant 0 (the paper
+    only builds two variants; this generalization keeps its argument
+    for attacks that must fool variant 0 and any other). Raises
+    [Invalid_argument] for [n < 1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/httpd/authd_source.ml: Char Nv_minic Nv_vm Printf String

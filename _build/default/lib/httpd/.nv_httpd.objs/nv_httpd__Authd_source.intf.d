@@ -1,0 +1,1 @@
+lib/httpd/authd_source.mli: Nv_vm

@@ -1,0 +1,1 @@
+lib/httpd/deploy.ml: Httpd_source Nv_core Nv_minic Nv_transform Site

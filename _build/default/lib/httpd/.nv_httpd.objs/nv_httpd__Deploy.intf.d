@@ -1,0 +1,1 @@
+lib/httpd/deploy.mli: Nv_core Nv_transform

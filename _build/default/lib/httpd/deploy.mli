@@ -1,0 +1,44 @@
+(** Deployment of the case-study server in the four evaluation
+    configurations of Table 3. *)
+
+type config =
+  | Unmodified_single
+      (** Configuration 1: untransformed server, one variant. *)
+  | Transformed_single
+      (** Configuration 2: UID-transformed server (detection calls
+          inserted, identity reexpression), one variant — measures the
+          cost of the code transformation alone. *)
+  | Two_variant_address
+      (** Configuration 3: two untransformed variants under
+          address-space partitioning with the unshared-file-capable
+          kernel — the redundant-execution baseline. *)
+  | Two_variant_uid
+      (** Configuration 4: the paper's UID variation — two variants,
+          address partitioning, UID reexpression, unshared passwd. *)
+
+val all : config list
+
+val name : config -> string
+(** "config1" .. "config4". *)
+
+val description : config -> string
+
+val variation : config -> Nv_core.Variation.t
+
+val build :
+  ?log_uid:bool ->
+  ?mode:Nv_transform.Uid_transform.mode ->
+  config ->
+  (Nv_core.Nsystem.t, string) result
+(** Compile (and transform, for configurations 2 and 4) the server,
+    populate the world (standard files + document root + diversified
+    unshared copies), and assemble the system. Each call builds a fresh
+    system. *)
+
+val transform_report :
+  ?log_uid:bool ->
+  ?mode:Nv_transform.Uid_transform.mode ->
+  unit ->
+  (Nv_transform.Uid_transform.report, string) result
+(** The change-count report of transforming the server source — the
+    experiment X1 analogue of the paper's 73 Apache changes. *)

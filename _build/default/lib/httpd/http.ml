@@ -1,0 +1,38 @@
+type response = { status : int; content_length : int option; body : string }
+
+let get path = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path
+
+let find_sub haystack needle from =
+  let n = String.length needle in
+  let h = String.length haystack in
+  let rec scan i = if i + n > h then None else if String.sub haystack i n = needle then Some i else scan (i + 1) in
+  scan from
+
+let parse_response raw =
+  match find_sub raw "\r\n\r\n" 0 with
+  | None -> Error "no header/body separator"
+  | Some sep -> (
+    let header = String.sub raw 0 sep in
+    let body = String.sub raw (sep + 4) (String.length raw - sep - 4) in
+    let lines = String.split_on_char '\n' header |> List.map String.trim in
+    match lines with
+    | [] -> Error "empty header"
+    | status_line :: rest -> (
+      match String.split_on_char ' ' status_line with
+      | _http :: code :: _ -> (
+        match int_of_string_opt code with
+        | None -> Error ("bad status code: " ^ code)
+        | Some status ->
+          let content_length =
+            List.find_map
+              (fun line ->
+                match String.index_opt line ':' with
+                | Some i
+                  when String.lowercase_ascii (String.sub line 0 i) = "content-length" ->
+                  int_of_string_opt
+                    (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+                | _ -> None)
+              rest
+          in
+          Ok { status; content_length; body })
+      | _ -> Error ("malformed status line: " ^ status_line)))

@@ -1,0 +1,15 @@
+(** Client-side HTTP/1.0 codec for the workload generator and attack
+    campaign. *)
+
+type response = {
+  status : int;
+  content_length : int option;
+  body : string;
+}
+
+val get : string -> string
+(** [get path] renders ["GET <path> HTTP/1.0\r\n\r\n"]. *)
+
+val parse_response : string -> (response, string) result
+(** Parse status line, scan headers for [Content-Length], split off the
+    body. *)

@@ -1,0 +1,41 @@
+type file = { name : string; size : int }
+
+let files =
+  [
+    { name = "index.html"; size = 2048 };
+    { name = "small.html"; size = 512 };
+    { name = "news.html"; size = 4096 };
+    { name = "docs.html"; size = 6000 };
+    { name = "large.html"; size = 16384 };
+    { name = "style.css"; size = 1024 };
+  ]
+
+let content { name; size } =
+  let header = Printf.sprintf "<html><!-- %s --><body>" name in
+  let footer = "</body></html>\n" in
+  let fill = size - String.length header - String.length footer in
+  if fill < 0 then String.sub (header ^ footer) 0 size
+  else begin
+    let buf = Buffer.create size in
+    Buffer.add_string buf header;
+    for i = 0 to fill - 1 do
+      Buffer.add_char buf (Char.chr (Char.code 'a' + (i mod 26)))
+    done;
+    Buffer.add_string buf footer;
+    Buffer.contents buf
+  end
+
+let install vfs =
+  List.iter
+    (fun file ->
+      Nv_os.Vfs.install vfs
+        ~attrs:{ Nv_os.Vfs.mode = 0o644; owner = 0; group = 0 }
+        ~path:("/var/www/" ^ file.name) (content file))
+    files
+
+let request_mix =
+  (* Weighted roughly like a static-site session: the index dominates. *)
+  [|
+    "/"; "/"; "/"; "/index.html"; "/small.html"; "/small.html"; "/news.html";
+    "/news.html"; "/docs.html"; "/style.css"; "/style.css"; "/large.html";
+  |]

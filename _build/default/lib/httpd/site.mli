@@ -1,0 +1,19 @@
+(** Static site content for the case-study server — the WebBench-style
+    file mix the Table 3 workload requests. *)
+
+type file = { name : string; size : int }
+
+val files : file list
+(** The document-root inventory (sizes chosen to straddle the server's
+    4 KiB read buffer, giving a mix of one-read and streamed
+    responses). *)
+
+val content : file -> string
+(** Deterministic page content of exactly [size] bytes. *)
+
+val install : Nv_os.Vfs.t -> unit
+(** Install the document root under [/var/www] (world-readable,
+    owned by root). *)
+
+val request_mix : string array
+(** URL paths in the proportions the load generator draws from. *)

@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Array Ast Buffer Char Format Hashtbl List Nv_os Nv_vm Option Parser Pretty Printf String Tast Typecheck

@@ -1,0 +1,1 @@
+lib/minic/codegen.mli: Nv_vm Tast

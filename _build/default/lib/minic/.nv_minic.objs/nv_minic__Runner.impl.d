@@ -1,0 +1,1 @@
+lib/minic/runner.ml: Array Nv_os Nv_vm

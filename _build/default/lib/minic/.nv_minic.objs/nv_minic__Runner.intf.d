@@ -1,0 +1,1 @@
+lib/minic/runner.mli: Nv_os Nv_vm

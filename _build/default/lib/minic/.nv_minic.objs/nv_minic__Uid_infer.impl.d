@@ -1,0 +1,1 @@
+lib/minic/uid_infer.ml: Ast Hashtbl List Set String

@@ -1,0 +1,1 @@
+lib/minic/uid_infer.mli: Ast

@@ -1,0 +1,94 @@
+(* Surface abstract syntax of mini-C.
+
+   Mini-C is the guest language of the reproduction: a small, typed
+   subset of C with a first-class [uid_t] type. The paper's UID data
+   variation is a source-to-source transformation over this AST
+   (implemented in the nv_transform library). *)
+
+type ty =
+  | Tvoid
+  | Tint
+  | Tchar
+  | Tuid  (* uid_t / gid_t: the diversified data type *)
+  | Tptr of ty
+  | Tarray of ty * int
+
+type unop =
+  | Neg  (* -e *)
+  | Lnot  (* !e *)
+  | Bnot  (* ~e *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+
+type expr =
+  | Int_lit of int
+  | Char_lit of char
+  | Str_lit of string
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of lvalue * expr
+  | Call of string * expr list
+  | Index of expr * expr  (* e[i] *)
+  | Deref of expr  (* *e *)
+  | Addr_of of lvalue  (* &lv *)
+  | Cast of ty * expr
+
+and lvalue =
+  | Lvar of string
+  | Lindex of expr * expr
+  | Lderef of expr
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of ty * string * expr option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+type init =
+  | Init_none  (* zeroed *)
+  | Init_int of int
+  | Init_string of string
+  | Init_array of int list
+
+type global = { gname : string; gty : ty; ginit : init }
+
+type func = {
+  fname : string;
+  ret : ty;
+  params : (ty * string) list;
+  body : stmt list;
+}
+
+type decl = Dglobal of global | Dfunc of func
+
+type program = decl list
+
+(* Helpers shared by the transformer and analyses. *)
+
+let rec ty_equal a b =
+  match (a, b) with
+  | Tvoid, Tvoid | Tint, Tint | Tchar, Tchar | Tuid, Tuid -> true
+  | Tptr a, Tptr b -> ty_equal a b
+  | Tarray (a, n), Tarray (b, m) -> n = m && ty_equal a b
+  | (Tvoid | Tint | Tchar | Tuid | Tptr _ | Tarray _), _ -> false
+
+let is_comparison = function
+  | Eq | Ne | Lt | Le | Gt | Ge -> true
+  | Add | Sub | Mul | Div | Mod | Band | Bor | Bxor | Shl | Shr | Land | Lor -> false
+
+let globals program =
+  List.filter_map (function Dglobal g -> Some g | Dfunc _ -> None) program
+
+let funcs program =
+  List.filter_map (function Dfunc f -> Some f | Dglobal _ -> None) program
+
+let find_func program name = List.find_opt (fun f -> f.fname = name) (funcs program)

@@ -1,0 +1,145 @@
+exception Error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let escape_char line = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> fail line "unknown escape '\\%c'" c
+
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit kind = tokens := Token.{ kind; line = !line } :: !tokens in
+  let rec scan i =
+    if i >= n then emit Token.Eof
+    else begin
+      let c = source.[i] in
+      match c with
+      | '\n' ->
+        incr line;
+        scan (i + 1)
+      | ' ' | '\t' | '\r' -> scan (i + 1)
+      | '/' when i + 1 < n && source.[i + 1] = '/' ->
+        let rec skip j = if j < n && source.[j] <> '\n' then skip (j + 1) else j in
+        scan (skip (i + 2))
+      | '/' when i + 1 < n && source.[i + 1] = '*' ->
+        let rec skip j =
+          if j + 1 >= n then fail !line "unterminated comment"
+          else if source.[j] = '*' && source.[j + 1] = '/' then j + 2
+          else begin
+            if source.[j] = '\n' then incr line;
+            skip (j + 1)
+          end
+        in
+        scan (skip (i + 2))
+      | '0' when i + 1 < n && (source.[i + 1] = 'x' || source.[i + 1] = 'X') ->
+        let rec span j = if j < n && is_hex_digit source.[j] then span (j + 1) else j in
+        let stop = span (i + 2) in
+        if stop = i + 2 then fail !line "malformed hex literal";
+        let text = String.sub source i (stop - i) in
+        emit (Token.Int_lit (int_of_string text));
+        scan stop
+      | c when is_digit c ->
+        let rec span j = if j < n && is_digit source.[j] then span (j + 1) else j in
+        let stop = span i in
+        emit (Token.Int_lit (int_of_string (String.sub source i (stop - i))));
+        scan stop
+      | c when is_ident_start c ->
+        let rec span j = if j < n && is_ident_char source.[j] then span (j + 1) else j in
+        let stop = span i in
+        let text = String.sub source i (stop - i) in
+        (match Token.keyword_of_string text with
+        | Some kw -> emit kw
+        | None -> emit (Token.Ident text));
+        scan stop
+      | '\'' ->
+        if i + 1 >= n then fail !line "unterminated char literal";
+        let ch, stop =
+          if source.[i + 1] = '\\' then begin
+            if i + 2 >= n then fail !line "unterminated char literal";
+            (escape_char !line source.[i + 2], i + 3)
+          end
+          else (source.[i + 1], i + 2)
+        in
+        if stop >= n || source.[stop] <> '\'' then fail !line "unterminated char literal";
+        emit (Token.Char_lit ch);
+        scan (stop + 1)
+      | '"' ->
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then fail !line "unterminated string literal"
+          else begin
+            match source.[j] with
+            | '"' -> j + 1
+            | '\\' ->
+              if j + 1 >= n then fail !line "unterminated string literal";
+              Buffer.add_char buf (escape_char !line source.[j + 1]);
+              str (j + 2)
+            | '\n' -> fail !line "newline in string literal"
+            | c ->
+              Buffer.add_char buf c;
+              str (j + 1)
+          end
+        in
+        let stop = str (i + 1) in
+        emit (Token.Str_lit (Buffer.contents buf));
+        scan stop
+      | _ ->
+        let two target kind =
+          if i + 1 < n && source.[i + 1] = target then begin
+            emit kind;
+            true
+          end
+          else false
+        in
+        let advance_by =
+          match c with
+          | '(' -> emit Token.Lparen; 1
+          | ')' -> emit Token.Rparen; 1
+          | '{' -> emit Token.Lbrace; 1
+          | '}' -> emit Token.Rbrace; 1
+          | '[' -> emit Token.Lbracket; 1
+          | ']' -> emit Token.Rbracket; 1
+          | ';' -> emit Token.Semi; 1
+          | ',' -> emit Token.Comma; 1
+          | '+' -> if two '+' Token.Plus_plus then 2 else (emit Token.Plus; 1)
+          | '-' -> if two '-' Token.Minus_minus then 2 else (emit Token.Minus; 1)
+          | '*' -> emit Token.Star; 1
+          | '/' -> emit Token.Slash; 1
+          | '%' -> emit Token.Percent; 1
+          | '^' -> emit Token.Caret; 1
+          | '~' -> emit Token.Tilde; 1
+          | '&' -> if two '&' Token.And_and then 2 else (emit Token.Amp; 1)
+          | '|' -> if two '|' Token.Or_or then 2 else (emit Token.Pipe; 1)
+          | '!' -> if two '=' Token.Ne then 2 else (emit Token.Bang; 1)
+          | '=' -> if two '=' Token.Eq then 2 else (emit Token.Assign; 1)
+          | '<' ->
+            if two '<' Token.Shl then 2
+            else if two '=' Token.Le then 2
+            else (emit Token.Lt; 1)
+          | '>' ->
+            if two '>' Token.Shr then 2
+            else if two '=' Token.Ge then 2
+            else (emit Token.Gt; 1)
+          | c -> fail !line "unexpected character %C" c
+        in
+        scan (i + advance_by)
+    end
+  in
+  scan 0;
+  List.rev !tokens

@@ -1,0 +1,9 @@
+(** Lexer for mini-C source text. *)
+
+exception Error of { line : int; message : string }
+
+val tokenize : string -> Token.t list
+(** Produce the token stream (terminated by [Eof]). Handles [//] and
+    [/* ... */] comments, decimal and [0x] hex integers, character
+    literals with the usual escapes, and string literals. Raises
+    {!Error} on malformed input. *)

@@ -1,0 +1,460 @@
+exception Error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+type state = { mutable tokens : Token.t list }
+
+let peek st =
+  match st.tokens with
+  | [] -> Token.{ kind = Eof; line = 0 }
+  | tok :: _ -> tok
+
+let advance st =
+  match st.tokens with
+  | [] -> ()
+  | _ :: rest -> st.tokens <- rest
+
+let next st =
+  let tok = peek st in
+  advance st;
+  tok
+
+let expect st kind =
+  let tok = peek st in
+  if tok.Token.kind = kind then advance st
+  else
+    fail tok.Token.line "expected %s but found %s" (Token.describe kind)
+      (Token.describe tok.Token.kind)
+
+let expect_ident st =
+  let tok = next st in
+  match tok.Token.kind with
+  | Token.Ident name -> name
+  | other -> fail tok.Token.line "expected identifier but found %s" (Token.describe other)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let base_type_of_kind = function
+  | Token.Kw_int -> Some Ast.Tint
+  | Token.Kw_char -> Some Ast.Tchar
+  | Token.Kw_void -> Some Ast.Tvoid
+  | Token.Kw_uid_t | Token.Kw_gid_t -> Some Ast.Tuid
+  | _ -> None
+
+let starts_type st = base_type_of_kind (peek st).Token.kind <> None
+
+let parse_type st =
+  let tok = next st in
+  match base_type_of_kind tok.Token.kind with
+  | None -> fail tok.Token.line "expected a type but found %s" (Token.describe tok.Token.kind)
+  | Some base ->
+    let rec stars ty =
+      if (peek st).Token.kind = Token.Star then begin
+        advance st;
+        stars (Ast.Tptr ty)
+      end
+      else ty
+    in
+    stars base
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lvalue_of_expr line = function
+  | Ast.Var name -> Ast.Lvar name
+  | Ast.Index (e, i) -> Ast.Lindex (e, i)
+  | Ast.Deref e -> Ast.Lderef e
+  | Ast.Int_lit _ | Ast.Char_lit _ | Ast.Str_lit _ | Ast.Unop _ | Ast.Binop _
+  | Ast.Assign _ | Ast.Call _ | Ast.Addr_of _ | Ast.Cast _ ->
+    fail line "expression is not assignable"
+
+let incr_sugar line op e =
+  let lv = lvalue_of_expr line e in
+  let delta = Ast.Int_lit 1 in
+  let op = match op with `Incr -> Ast.Add | `Decr -> Ast.Sub in
+  Ast.Assign (lv, Ast.Binop (op, e, delta))
+
+let rec parse_expr_st st = parse_assignment st
+
+and parse_assignment st =
+  let lhs = parse_lor st in
+  match (peek st).Token.kind with
+  | Token.Assign ->
+    let line = (peek st).Token.line in
+    advance st;
+    let rhs = parse_assignment st in
+    Ast.Assign (lvalue_of_expr line lhs, rhs)
+  | _ -> lhs
+
+and parse_binop_level st ops parse_next =
+  let rec loop lhs =
+    match List.assoc_opt (peek st).Token.kind ops with
+    | Some op ->
+      advance st;
+      let rhs = parse_next st in
+      loop (Ast.Binop (op, lhs, rhs))
+    | None -> lhs
+  in
+  loop (parse_next st)
+
+and parse_lor st = parse_binop_level st [ (Token.Or_or, Ast.Lor) ] parse_land
+
+and parse_land st = parse_binop_level st [ (Token.And_and, Ast.Land) ] parse_bor
+
+and parse_bor st = parse_binop_level st [ (Token.Pipe, Ast.Bor) ] parse_bxor
+
+and parse_bxor st = parse_binop_level st [ (Token.Caret, Ast.Bxor) ] parse_band
+
+and parse_band st = parse_binop_level st [ (Token.Amp, Ast.Band) ] parse_equality
+
+and parse_equality st =
+  parse_binop_level st [ (Token.Eq, Ast.Eq); (Token.Ne, Ast.Ne) ] parse_relational
+
+and parse_relational st =
+  parse_binop_level st
+    [ (Token.Lt, Ast.Lt); (Token.Le, Ast.Le); (Token.Gt, Ast.Gt); (Token.Ge, Ast.Ge) ]
+    parse_shift
+
+and parse_shift st =
+  parse_binop_level st [ (Token.Shl, Ast.Shl); (Token.Shr, Ast.Shr) ] parse_additive
+
+and parse_additive st =
+  parse_binop_level st [ (Token.Plus, Ast.Add); (Token.Minus, Ast.Sub) ] parse_multiplicative
+
+and parse_multiplicative st =
+  parse_binop_level st
+    [ (Token.Star, Ast.Mul); (Token.Slash, Ast.Div); (Token.Percent, Ast.Mod) ]
+    parse_unary
+
+and parse_unary st =
+  let tok = peek st in
+  match tok.Token.kind with
+  | Token.Minus -> (
+    advance st;
+    (* Fold negated literals so -5 parses as the literal -5. *)
+    match parse_unary st with
+    | Ast.Int_lit v -> Ast.Int_lit (-v)
+    | e -> Ast.Unop (Ast.Neg, e))
+  | Token.Bang ->
+    advance st;
+    Ast.Unop (Ast.Lnot, parse_unary st)
+  | Token.Tilde ->
+    advance st;
+    Ast.Unop (Ast.Bnot, parse_unary st)
+  | Token.Star ->
+    advance st;
+    Ast.Deref (parse_unary st)
+  | Token.Amp ->
+    advance st;
+    let line = (peek st).Token.line in
+    let e = parse_unary st in
+    Ast.Addr_of (lvalue_of_expr line e)
+  | Token.Plus_plus ->
+    advance st;
+    let e = parse_unary st in
+    incr_sugar tok.Token.line `Incr e
+  | Token.Minus_minus ->
+    advance st;
+    let e = parse_unary st in
+    incr_sugar tok.Token.line `Decr e
+  | Token.Lparen -> (
+    (* Cast if a type keyword follows the parenthesis. *)
+    match st.tokens with
+    | { Token.kind = Token.Lparen; _ } :: { Token.kind = after; _ } :: _
+      when base_type_of_kind after <> None ->
+      advance st;
+      let ty = parse_type st in
+      expect st Token.Rparen;
+      Ast.Cast (ty, parse_unary st)
+    | _ -> parse_postfix st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec loop e =
+    let tok = peek st in
+    match tok.Token.kind with
+    | Token.Lbracket ->
+      advance st;
+      let idx = parse_expr_st st in
+      expect st Token.Rbracket;
+      loop (Ast.Index (e, idx))
+    | Token.Plus_plus ->
+      advance st;
+      loop (incr_sugar tok.Token.line `Incr e)
+    | Token.Minus_minus ->
+      advance st;
+      loop (incr_sugar tok.Token.line `Decr e)
+    | _ -> e
+  in
+  loop (parse_primary st)
+
+and parse_primary st =
+  let tok = next st in
+  match tok.Token.kind with
+  | Token.Int_lit v -> Ast.Int_lit v
+  | Token.Char_lit c -> Ast.Char_lit c
+  | Token.Str_lit s -> Ast.Str_lit s
+  | Token.Ident name ->
+    if (peek st).Token.kind = Token.Lparen then begin
+      advance st;
+      let args = parse_args st in
+      expect st Token.Rparen;
+      Ast.Call (name, args)
+    end
+    else Ast.Var name
+  | Token.Lparen ->
+    let e = parse_expr_st st in
+    expect st Token.Rparen;
+    e
+  | other -> fail tok.Token.line "expected an expression but found %s" (Token.describe other)
+
+and parse_args st =
+  if (peek st).Token.kind = Token.Rparen then []
+  else begin
+    let rec loop acc =
+      let arg = parse_expr_st st in
+      if (peek st).Token.kind = Token.Comma then begin
+        advance st;
+        loop (arg :: acc)
+      end
+      else List.rev (arg :: acc)
+    in
+    loop []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Does a statement list contain a [continue] that would bind to the
+   current loop level? (Used to reject continue in desugared for.) *)
+let rec has_toplevel_continue stmts = List.exists stmt_has_continue stmts
+
+and stmt_has_continue = function
+  | Ast.Scontinue -> true
+  | Ast.Sif (_, then_s, else_s) ->
+    has_toplevel_continue then_s || has_toplevel_continue else_s
+  | Ast.Sblock body -> has_toplevel_continue body
+  | Ast.Swhile _ (* continue binds to the inner loop *)
+  | Ast.Sexpr _ | Ast.Sdecl _ | Ast.Sreturn _ | Ast.Sbreak ->
+    false
+
+(* A branch that parsed as a single block is flattened to its body so
+   that pretty-printing followed by reparsing is stable. *)
+let flatten_branch = function [ Ast.Sblock body ] -> body | stmts -> stmts
+
+let rec parse_stmt st : Ast.stmt list =
+  let tok = peek st in
+  match tok.Token.kind with
+  | Token.Semi ->
+    advance st;
+    []
+  | Token.Lbrace -> [ Ast.Sblock (parse_block st) ]
+  | Token.Kw_if ->
+    advance st;
+    expect st Token.Lparen;
+    let cond = parse_expr_st st in
+    expect st Token.Rparen;
+    let then_s = flatten_branch (parse_stmt st) in
+    let else_s =
+      if (peek st).Token.kind = Token.Kw_else then begin
+        advance st;
+        flatten_branch (parse_stmt st)
+      end
+      else []
+    in
+    [ Ast.Sif (cond, then_s, else_s) ]
+  | Token.Kw_while ->
+    advance st;
+    expect st Token.Lparen;
+    let cond = parse_expr_st st in
+    expect st Token.Rparen;
+    let body = flatten_branch (parse_stmt st) in
+    [ Ast.Swhile (cond, body) ]
+  | Token.Kw_for ->
+    advance st;
+    expect st Token.Lparen;
+    let init =
+      if (peek st).Token.kind = Token.Semi then []
+      else if starts_type st then parse_decl_stmt st
+      else [ Ast.Sexpr (parse_expr_st st) ]
+    in
+    expect st Token.Semi;
+    let cond =
+      if (peek st).Token.kind = Token.Semi then Ast.Int_lit 1 else parse_expr_st st
+    in
+    expect st Token.Semi;
+    let step =
+      if (peek st).Token.kind = Token.Rparen then [] else [ Ast.Sexpr (parse_expr_st st) ]
+    in
+    expect st Token.Rparen;
+    let body = flatten_branch (parse_stmt st) in
+    if has_toplevel_continue body then
+      fail tok.Token.line "continue inside a for loop is not supported";
+    [ Ast.Sblock (init @ [ Ast.Swhile (cond, body @ step) ]) ]
+  | Token.Kw_return ->
+    advance st;
+    if (peek st).Token.kind = Token.Semi then begin
+      advance st;
+      [ Ast.Sreturn None ]
+    end
+    else begin
+      let e = parse_expr_st st in
+      expect st Token.Semi;
+      [ Ast.Sreturn (Some e) ]
+    end
+  | Token.Kw_break ->
+    advance st;
+    expect st Token.Semi;
+    [ Ast.Sbreak ]
+  | Token.Kw_continue ->
+    advance st;
+    expect st Token.Semi;
+    [ Ast.Scontinue ]
+  | _ when starts_type st ->
+    let decl = parse_decl_stmt st in
+    expect st Token.Semi;
+    decl
+  | _ ->
+    let e = parse_expr_st st in
+    expect st Token.Semi;
+    [ Ast.Sexpr e ]
+
+(* [type name ([n])? (= expr)?] without the trailing semicolon (shared
+   between plain declarations and for-loop initializers). *)
+and parse_decl_stmt st =
+  let ty = parse_type st in
+  let name = expect_ident st in
+  let ty =
+    if (peek st).Token.kind = Token.Lbracket then begin
+      advance st;
+      let tok = next st in
+      match tok.Token.kind with
+      | Token.Int_lit size when size > 0 ->
+        expect st Token.Rbracket;
+        Ast.Tarray (ty, size)
+      | _ -> fail tok.Token.line "expected a positive array size"
+    end
+    else ty
+  in
+  let init =
+    if (peek st).Token.kind = Token.Assign then begin
+      advance st;
+      Some (parse_expr_st st)
+    end
+    else None
+  in
+  [ Ast.Sdecl (ty, name, init) ]
+
+and parse_block st =
+  expect st Token.Lbrace;
+  let rec loop acc =
+    if (peek st).Token.kind = Token.Rbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (List.rev_append (parse_stmt st) acc)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_global_init st line =
+  match (next st).Token.kind with
+  | Token.Int_lit v -> Ast.Init_int v
+  | Token.Minus -> (
+    match (next st).Token.kind with
+    | Token.Int_lit v -> Ast.Init_int (-v)
+    | other -> fail line "expected integer after '-' but found %s" (Token.describe other))
+  | Token.Char_lit c -> Ast.Init_int (Char.code c)
+  | Token.Str_lit s -> Ast.Init_string s
+  | Token.Lbrace ->
+    let rec loop acc =
+      match (next st).Token.kind with
+      | Token.Int_lit v ->
+        let acc = v :: acc in
+        (match (next st).Token.kind with
+        | Token.Comma -> loop acc
+        | Token.Rbrace -> List.rev acc
+        | other -> fail line "expected ',' or '}' but found %s" (Token.describe other))
+      | other -> fail line "expected integer but found %s" (Token.describe other)
+    in
+    Ast.Init_array (loop [])
+  | other -> fail line "invalid global initializer: %s" (Token.describe other)
+
+let parse_decl st =
+  let line = (peek st).Token.line in
+  let ty = parse_type st in
+  let name = expect_ident st in
+  if (peek st).Token.kind = Token.Lparen then begin
+    (* Function definition. *)
+    advance st;
+    let params =
+      match (peek st).Token.kind with
+      | Token.Rparen -> []
+      | Token.Kw_void when (match st.tokens with
+                            | _ :: { Token.kind = Token.Rparen; _ } :: _ -> true
+                            | _ -> false) ->
+        advance st;
+        []
+      | _ ->
+        let rec loop acc =
+          let pty = parse_type st in
+          let pname = expect_ident st in
+          let acc = (pty, pname) :: acc in
+          if (peek st).Token.kind = Token.Comma then begin
+            advance st;
+            loop acc
+          end
+          else List.rev acc
+        in
+        loop []
+    in
+    expect st Token.Rparen;
+    let body = parse_block st in
+    Ast.Dfunc { Ast.fname = name; ret = ty; params; body }
+  end
+  else begin
+    let ty =
+      if (peek st).Token.kind = Token.Lbracket then begin
+        advance st;
+        let tok = next st in
+        match tok.Token.kind with
+        | Token.Int_lit size when size > 0 ->
+          expect st Token.Rbracket;
+          Ast.Tarray (ty, size)
+        | _ -> fail tok.Token.line "expected a positive array size"
+      end
+      else ty
+    in
+    let init =
+      if (peek st).Token.kind = Token.Assign then begin
+        advance st;
+        parse_global_init st line
+      end
+      else Ast.Init_none
+    in
+    expect st Token.Semi;
+    Ast.Dglobal { Ast.gname = name; gty = ty; ginit = init }
+  end
+
+let parse source =
+  let st = { tokens = Lexer.tokenize source } in
+  let rec loop acc =
+    if (peek st).Token.kind = Token.Eof then List.rev acc
+    else loop (parse_decl st :: acc)
+  in
+  loop []
+
+let parse_expr source =
+  let st = { tokens = Lexer.tokenize source } in
+  let e = parse_expr_st st in
+  (match (peek st).Token.kind with
+  | Token.Eof -> ()
+  | other -> fail (peek st).Token.line "trailing tokens: %s" (Token.describe other));
+  e

@@ -1,0 +1,21 @@
+(** Recursive-descent parser for mini-C.
+
+    Notable deviations from C, chosen to keep the guest language small
+    while still expressing the paper's case study:
+    - declarations are [type name], with [*] suffixes on the type;
+    - [x++]/[x--] (and the prefix forms) are sugar for [x = x + 1] /
+      [x = x - 1] and evaluate to the {e new} value;
+    - [for] loops are desugared to [while]; [continue] inside a [for]
+      body is rejected at parse time because the desugaring would skip
+      the step expression;
+    - a global array initializer is a brace list of integers. *)
+
+exception Error of { line : int; message : string }
+
+val parse : string -> Ast.program
+(** Lex and parse a full translation unit. Raises {!Error} (or
+    {!Lexer.Error}) on malformed input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (used by tests and the transformer's
+    unit tests). *)

@@ -1,0 +1,123 @@
+let rec ty = function
+  | Ast.Tvoid -> "void"
+  | Ast.Tint -> "int"
+  | Ast.Tchar -> "char"
+  | Ast.Tuid -> "uid_t"
+  | Ast.Tptr t -> ty t ^ "*"
+  | Ast.Tarray (t, n) -> Printf.sprintf "%s[%d]" (ty t) n
+
+let unop = function Ast.Neg -> "-" | Ast.Lnot -> "!" | Ast.Bnot -> "~"
+
+let binop = function
+  | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/" | Ast.Mod -> "%"
+  | Ast.Band -> "&" | Ast.Bor -> "|" | Ast.Bxor -> "^" | Ast.Shl -> "<<" | Ast.Shr -> ">>"
+  | Ast.Eq -> "==" | Ast.Ne -> "!=" | Ast.Lt -> "<" | Ast.Le -> "<=" | Ast.Gt -> ">"
+  | Ast.Ge -> ">=" | Ast.Land -> "&&" | Ast.Lor -> "||"
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\000' -> Buffer.add_string buf "\\0"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_char = function
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\r' -> "\\r"
+  | '\000' -> "\\0"
+  | '\\' -> "\\\\"
+  | '\'' -> "\\'"
+  | c -> String.make 1 c
+
+let rec expr = function
+  | Ast.Int_lit v -> if v < 0 then Printf.sprintf "(%d)" v else string_of_int v
+  | Ast.Char_lit c -> Printf.sprintf "'%s'" (escape_char c)
+  | Ast.Str_lit s -> Printf.sprintf "\"%s\"" (escape_string s)
+  | Ast.Var name -> name
+  | Ast.Unop (op, e) -> Printf.sprintf "%s(%s)" (unop op) (expr e)
+  | Ast.Binop (op, a, b) -> Printf.sprintf "(%s %s %s)" (expr a) (binop op) (expr b)
+  | Ast.Assign (lv, e) -> Printf.sprintf "(%s = %s)" (lvalue lv) (expr e)
+  | Ast.Call (name, args) ->
+    Printf.sprintf "%s(%s)" name (String.concat ", " (List.map expr args))
+  | Ast.Index (e, i) -> Printf.sprintf "%s[%s]" (expr_atom e) (expr i)
+  | Ast.Deref e -> Printf.sprintf "*(%s)" (expr e)
+  | Ast.Addr_of lv -> Printf.sprintf "&%s" (lvalue lv)
+  | Ast.Cast (t, e) -> Printf.sprintf "(%s)(%s)" (ty t) (expr e)
+
+and expr_atom e =
+  match e with
+  | Ast.Var _ | Ast.Int_lit _ -> expr e
+  | _ -> Printf.sprintf "(%s)" (expr e)
+
+and lvalue = function
+  | Ast.Lvar name -> name
+  | Ast.Lindex (e, i) -> Printf.sprintf "%s[%s]" (expr_atom e) (expr i)
+  | Ast.Lderef e -> Printf.sprintf "*(%s)" (expr e)
+
+let rec stmt ?(indent = 0) s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Ast.Sexpr e -> Printf.sprintf "%s%s;" pad (expr e)
+  | Ast.Sdecl (t, name, init) -> (
+    let base, suffix =
+      match t with
+      | Ast.Tarray (elem, n) -> (ty elem, Printf.sprintf "[%d]" n)
+      | _ -> (ty t, "")
+    in
+    match init with
+    | None -> Printf.sprintf "%s%s %s%s;" pad base name suffix
+    | Some e -> Printf.sprintf "%s%s %s%s = %s;" pad base name suffix (expr e))
+  | Ast.Sif (cond, then_s, else_s) ->
+    let header = Printf.sprintf "%sif (%s) {\n%s" pad (expr cond) (stmts (indent + 2) then_s) in
+    if else_s = [] then header ^ Printf.sprintf "%s}" pad
+    else
+      header
+      ^ Printf.sprintf "%s} else {\n%s%s}" pad (stmts (indent + 2) else_s) pad
+  | Ast.Swhile (cond, body) ->
+    Printf.sprintf "%swhile (%s) {\n%s%s}" pad (expr cond) (stmts (indent + 2) body) pad
+  | Ast.Sreturn None -> pad ^ "return;"
+  | Ast.Sreturn (Some e) -> Printf.sprintf "%sreturn %s;" pad (expr e)
+  | Ast.Sbreak -> pad ^ "break;"
+  | Ast.Scontinue -> pad ^ "continue;"
+  | Ast.Sblock body -> Printf.sprintf "%s{\n%s%s}" pad (stmts (indent + 2) body) pad
+
+and stmts indent body =
+  String.concat "" (List.map (fun s -> stmt ~indent s ^ "\n") body)
+
+let global { Ast.gname; gty; ginit } =
+  let base, suffix =
+    match gty with
+    | Ast.Tarray (elem, n) -> (ty elem, Printf.sprintf "[%d]" n)
+    | _ -> (ty gty, "")
+  in
+  let init =
+    match ginit with
+    | Ast.Init_none -> ""
+    | Ast.Init_int v -> Printf.sprintf " = %d" v
+    | Ast.Init_string s -> Printf.sprintf " = \"%s\"" (escape_string s)
+    | Ast.Init_array vs ->
+      Printf.sprintf " = {%s}" (String.concat ", " (List.map string_of_int vs))
+  in
+  Printf.sprintf "%s %s%s%s;" base gname suffix init
+
+let func { Ast.fname; ret; params; body } =
+  let params_text =
+    if params = [] then "void"
+    else String.concat ", " (List.map (fun (t, n) -> Printf.sprintf "%s %s" (ty t) n) params)
+  in
+  Printf.sprintf "%s %s(%s) {\n%s}" (ty ret) fname params_text (stmts 2 body)
+
+let program decls =
+  decls
+  |> List.map (function Ast.Dglobal g -> global g | Ast.Dfunc f -> func f)
+  |> String.concat "\n\n"
+  |> fun body -> body ^ "\n"

@@ -1,0 +1,14 @@
+(** Rendering mini-C ASTs back to source text.
+
+    Output is valid mini-C: [parse (program p)] yields an AST
+    structurally equal to [p] up to redundant parentheses (the printer
+    fully parenthesizes nested expressions). Used to display the
+    transformed variant source, as the paper shows its Apache diffs. *)
+
+val ty : Ast.ty -> string
+
+val expr : Ast.expr -> string
+
+val stmt : ?indent:int -> Ast.stmt -> string
+
+val program : Ast.program -> string

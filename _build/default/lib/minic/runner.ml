@@ -1,0 +1,103 @@
+module Cpu = Nv_vm.Cpu
+module Word = Nv_vm.Word
+module Memory = Nv_vm.Memory
+module Image = Nv_vm.Image
+module Kernel = Nv_os.Kernel
+module Syscall = Nv_os.Syscall
+module Sysabi = Nv_os.Sysabi
+
+type outcome = Exited of int | Faulted of Nv_vm.Cpu.fault | Blocked_on_accept | Out_of_fuel
+
+type t = { loaded : Image.loaded; kernel : Kernel.t; mutable syscalls : int }
+
+let create ?(base = 0x10000) ?(size = 1 lsl 20) ?(tag = 0) image kernel =
+  { loaded = Image.load image ~base ~size ~tag; kernel; syscalls = 0 }
+
+let kernel t = t.kernel
+
+let loaded t = t.loaded
+
+let instructions_retired t = Cpu.instructions_retired t.loaded.Image.cpu
+
+let syscalls t = t.syscalls
+
+let err = Word.of_signed (-1)
+
+(* Dispatch one trapped syscall; returns [None] to continue running,
+   [Some outcome] to stop. *)
+let dispatch t =
+  let cpu = t.loaded.Image.cpu in
+  let memory = t.loaded.Image.memory in
+  let { Sysabi.number; args } = Sysabi.of_cpu cpu in
+  t.syscalls <- t.syscalls + 1;
+  let k = t.kernel in
+  let return value =
+    Sysabi.set_result cpu value;
+    None
+  in
+  let chunk_for_variant = function
+    | Kernel.Shared_data data -> data
+    | Kernel.Per_variant chunks -> if Array.length chunks > 0 then chunks.(0) else ""
+  in
+  match number with
+  | n when n = Syscall.sys_exit -> Some (Exited (Word.to_signed args.(0)))
+  | n when n = Syscall.sys_read ->
+    let count, data = Kernel.sys_read k ~fd:(Word.to_signed args.(0)) ~len:(Word.to_signed args.(2)) in
+    if count > 0 then Sysabi.write_bytes memory ~addr:args.(1) (chunk_for_variant data);
+    return (Word.of_signed count)
+  | n when n = Syscall.sys_write ->
+    let len = Word.to_signed args.(2) in
+    let bytes = Sysabi.read_bytes memory ~addr:args.(1) ~len in
+    return (Word.of_signed (Kernel.sys_write k ~fd:(Word.to_signed args.(0)) ~data:(Kernel.Shared_data bytes)))
+  | n when n = Syscall.sys_open ->
+    let path = Sysabi.read_string memory ~addr:args.(0) in
+    return (Word.of_signed (Kernel.sys_open k ~path ~flags:(Word.to_signed args.(1))))
+  | n when n = Syscall.sys_close ->
+    return (Word.of_signed (Kernel.sys_close k ~fd:(Word.to_signed args.(0))))
+  | n when n = Syscall.sys_accept ->
+    let fd = Kernel.sys_accept k in
+    if fd = Kernel.eagain then begin
+      Sysabi.retry_syscall cpu;
+      Some Blocked_on_accept
+    end
+    else return (Word.of_signed fd)
+  | n when n = Syscall.sys_getuid -> return (Kernel.sys_getuid k)
+  | n when n = Syscall.sys_geteuid -> return (Kernel.sys_geteuid k)
+  | n when n = Syscall.sys_getgid -> return (Kernel.sys_getgid k)
+  | n when n = Syscall.sys_getegid -> return (Kernel.sys_getegid k)
+  | n when n = Syscall.sys_setuid -> return (Word.of_signed (Kernel.sys_setuid k ~uid:args.(0)))
+  | n when n = Syscall.sys_seteuid -> return (Word.of_signed (Kernel.sys_seteuid k ~uid:args.(0)))
+  | n when n = Syscall.sys_setgid -> return (Word.of_signed (Kernel.sys_setgid k ~gid:args.(0)))
+  | n when n = Syscall.sys_setegid -> return (Word.of_signed (Kernel.sys_setegid k ~gid:args.(0)))
+  | n when n = Syscall.sys_uid_value -> return args.(0)
+  | n when n = Syscall.sys_cond_chk -> return args.(0)
+  | n when n = Syscall.sys_cc_eq -> return (if args.(0) = args.(1) then 1 else 0)
+  | n when n = Syscall.sys_cc_neq -> return (if args.(0) <> args.(1) then 1 else 0)
+  | n when n = Syscall.sys_cc_lt -> return (if Word.lt_unsigned args.(0) args.(1) then 1 else 0)
+  | n when n = Syscall.sys_cc_leq -> return (if not (Word.lt_unsigned args.(1) args.(0)) then 1 else 0)
+  | n when n = Syscall.sys_cc_gt -> return (if Word.lt_unsigned args.(1) args.(0) then 1 else 0)
+  | n when n = Syscall.sys_cc_geq -> return (if not (Word.lt_unsigned args.(0) args.(1)) then 1 else 0)
+  | _ -> return err
+
+let run ?(fuel = 10_000_000) t =
+  let cpu = t.loaded.Image.cpu in
+  let deadline = Cpu.instructions_retired cpu + fuel in
+  let rec loop () =
+    let remaining = deadline - Cpu.instructions_retired cpu in
+    if remaining <= 0 then Out_of_fuel
+    else begin
+      match Cpu.run cpu ~fuel:remaining with
+      | Cpu.Out_of_fuel -> Out_of_fuel
+      | Cpu.Trapped Cpu.Halt_trap -> Exited 0
+      | Cpu.Trapped (Cpu.Fault_trap fault) -> Faulted fault
+      | Cpu.Trapped Cpu.Syscall_trap -> (
+        match dispatch t with
+        | exception Memory.Fault { addr; access } ->
+          (* A bad pointer handed to the kernel kills the process, as a
+             bad copy_from_user would. *)
+          Faulted (Cpu.Segfault { addr; access })
+        | None -> loop ()
+        | Some outcome -> outcome)
+    end
+  in
+  loop ()

@@ -1,0 +1,39 @@
+(** Single-process execution of a compiled image against the simulated
+    kernel — the {e unprotected baseline} of the paper's evaluation
+    (Configurations 1 and 2 of Table 3 run exactly this way) and the
+    harness used by the language tests.
+
+    There is no replication and no reexpression here: UID-bearing
+    syscalls pass values through unchanged, and the Table 2 detection
+    calls degenerate to their obvious single-variant semantics
+    ([uid_value] returns its argument, [cc_eq] compares, ...). *)
+
+type outcome =
+  | Exited of int
+  | Faulted of Nv_vm.Cpu.fault
+  | Blocked_on_accept
+      (** [accept] found no pending connection; connect a client and
+          call {!run} again to resume. *)
+  | Out_of_fuel
+
+type t
+
+val create :
+  ?base:int -> ?size:int -> ?tag:int -> Nv_vm.Image.t -> Nv_os.Kernel.t -> t
+(** Load the image (defaults: base [0x10000], 1 MiB segment, tag 0)
+    and attach it to the kernel. The kernel should have been created
+    with [~variants:1]. *)
+
+val kernel : t -> Nv_os.Kernel.t
+val loaded : t -> Nv_vm.Image.loaded
+
+val instructions_retired : t -> int
+(** Guest instructions executed so far (the Table 3 service-demand
+    metric). *)
+
+val syscalls : t -> int
+(** Syscall traps serviced so far. *)
+
+val run : ?fuel:int -> t -> outcome
+(** Execute until exit, fault, block, or fuel exhaustion (default fuel
+    10 million instructions). Resumable after [Blocked_on_accept]. *)

@@ -1,0 +1,104 @@
+(* Typed abstract syntax.
+
+   Produced by the typechecker; consumed by the code generator and by
+   the UID transformation passes (which need to know, for every
+   expression, whether it denotes a uid_t value). Implicit int-literal
+   to uid_t coercions are elaborated into explicit [Tcast (Tuid, lit)]
+   nodes, so "UID constants" are syntactically identifiable - exactly
+   the property the paper relies on when it transforms constant UID
+   values (Section 3.3). *)
+
+type texpr = { e : ekind; ty : Ast.ty }
+
+and ekind =
+  | Tint_lit of int
+  | Tchar_lit of char
+  | Tstr_lit of string
+  | Tvar of string
+  | Tunop of Ast.unop * texpr
+  | Tbinop of Ast.binop * texpr * texpr
+  | Tassign of tlvalue * texpr
+  | Tcall of string * texpr list
+  | Tindex of texpr * texpr
+  | Tderef of texpr
+  | Taddr_of of tlvalue
+  | Tcast of Ast.ty * texpr
+
+and tlvalue = { lv : lvkind; lv_ty : Ast.ty }
+
+and lvkind =
+  | TLvar of string
+  | TLindex of texpr * texpr
+  | TLderef of texpr
+
+type tstmt =
+  | TSexpr of texpr
+  | TSdecl of Ast.ty * string * texpr option
+  | TSif of texpr * tstmt list * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSreturn of texpr option
+  | TSbreak
+  | TScontinue
+  | TSblock of tstmt list
+
+type tfunc = {
+  fname : string;
+  ret : Ast.ty;
+  params : (Ast.ty * string) list;
+  body : tstmt list;
+}
+
+type tprogram = { tglobals : Ast.global list; tfuncs : tfunc list }
+
+let mk e ty = { e; ty }
+
+let is_uid texpr = texpr.ty = Ast.Tuid
+
+(* A syntactically-identifiable UID constant: the elaborated form of an
+   int literal used at type uid_t. *)
+let uid_constant_value texpr =
+  match texpr with
+  | { e = Tcast (Ast.Tuid, { e = Tint_lit v; _ }); ty = Ast.Tuid } -> Some v
+  | _ -> None
+
+let uid_constant v = mk (Tcast (Ast.Tuid, mk (Tint_lit v) Ast.Tint)) Ast.Tuid
+
+(* Erase types back to the surface syntax (for pretty-printing the
+   transformed variants). *)
+let rec erase_expr { e; _ } =
+  match e with
+  | Tint_lit v -> Ast.Int_lit v
+  | Tchar_lit c -> Ast.Char_lit c
+  | Tstr_lit s -> Ast.Str_lit s
+  | Tvar name -> Ast.Var name
+  | Tunop (op, a) -> Ast.Unop (op, erase_expr a)
+  | Tbinop (op, a, b) -> Ast.Binop (op, erase_expr a, erase_expr b)
+  | Tassign (lv, a) -> Ast.Assign (erase_lvalue lv, erase_expr a)
+  | Tcall (name, args) -> Ast.Call (name, List.map erase_expr args)
+  | Tindex (a, i) -> Ast.Index (erase_expr a, erase_expr i)
+  | Tderef a -> Ast.Deref (erase_expr a)
+  | Taddr_of lv -> Ast.Addr_of (erase_lvalue lv)
+  | Tcast (ty, a) -> Ast.Cast (ty, erase_expr a)
+
+and erase_lvalue { lv; _ } =
+  match lv with
+  | TLvar name -> Ast.Lvar name
+  | TLindex (a, i) -> Ast.Lindex (erase_expr a, erase_expr i)
+  | TLderef a -> Ast.Lderef (erase_expr a)
+
+let rec erase_stmt = function
+  | TSexpr e -> Ast.Sexpr (erase_expr e)
+  | TSdecl (ty, name, init) -> Ast.Sdecl (ty, name, Option.map erase_expr init)
+  | TSif (c, t, f) -> Ast.Sif (erase_expr c, List.map erase_stmt t, List.map erase_stmt f)
+  | TSwhile (c, body) -> Ast.Swhile (erase_expr c, List.map erase_stmt body)
+  | TSreturn e -> Ast.Sreturn (Option.map erase_expr e)
+  | TSbreak -> Ast.Sbreak
+  | TScontinue -> Ast.Scontinue
+  | TSblock body -> Ast.Sblock (List.map erase_stmt body)
+
+let erase { tglobals; tfuncs } =
+  List.map (fun g -> Ast.Dglobal g) tglobals
+  @ List.map
+      (fun { fname; ret; params; body } ->
+        Ast.Dfunc { Ast.fname; ret; params; body = List.map erase_stmt body })
+      tfuncs

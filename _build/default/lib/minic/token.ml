@@ -1,0 +1,122 @@
+(* Lexical tokens of mini-C, each carrying its source line for error
+   reporting. *)
+
+type kind =
+  | Ident of string
+  | Int_lit of int
+  | Char_lit of char
+  | Str_lit of string
+  (* keywords *)
+  | Kw_int
+  | Kw_char
+  | Kw_void
+  | Kw_uid_t
+  | Kw_gid_t
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_for
+  | Kw_return
+  | Kw_break
+  | Kw_continue
+  (* punctuation *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  (* operators *)
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Shl
+  | Shr
+  | Bang
+  | Assign
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And_and
+  | Or_or
+  | Plus_plus
+  | Minus_minus
+  | Eof
+
+type t = { kind : kind; line : int }
+
+let keyword_of_string = function
+  | "int" -> Some Kw_int
+  | "char" -> Some Kw_char
+  | "void" -> Some Kw_void
+  | "uid_t" -> Some Kw_uid_t
+  | "gid_t" -> Some Kw_gid_t
+  | "if" -> Some Kw_if
+  | "else" -> Some Kw_else
+  | "while" -> Some Kw_while
+  | "for" -> Some Kw_for
+  | "return" -> Some Kw_return
+  | "break" -> Some Kw_break
+  | "continue" -> Some Kw_continue
+  | _ -> None
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit n -> Printf.sprintf "integer %d" n
+  | Char_lit c -> Printf.sprintf "char %C" c
+  | Str_lit s -> Printf.sprintf "string %S" s
+  | Kw_int -> "'int'"
+  | Kw_char -> "'char'"
+  | Kw_void -> "'void'"
+  | Kw_uid_t -> "'uid_t'"
+  | Kw_gid_t -> "'gid_t'"
+  | Kw_if -> "'if'"
+  | Kw_else -> "'else'"
+  | Kw_while -> "'while'"
+  | Kw_for -> "'for'"
+  | Kw_return -> "'return'"
+  | Kw_break -> "'break'"
+  | Kw_continue -> "'continue'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Semi -> "';'"
+  | Comma -> "','"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Percent -> "'%'"
+  | Amp -> "'&'"
+  | Pipe -> "'|'"
+  | Caret -> "'^'"
+  | Tilde -> "'~'"
+  | Shl -> "'<<'"
+  | Shr -> "'>>'"
+  | Bang -> "'!'"
+  | Assign -> "'='"
+  | Eq -> "'=='"
+  | Ne -> "'!='"
+  | Lt -> "'<'"
+  | Le -> "'<='"
+  | Gt -> "'>'"
+  | Ge -> "'>='"
+  | And_and -> "'&&'"
+  | Or_or -> "'||'"
+  | Plus_plus -> "'++'"
+  | Minus_minus -> "'--'"
+  | Eof -> "end of input"

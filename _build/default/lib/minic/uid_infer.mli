@@ -1,0 +1,28 @@
+(** Dataflow inference of UID-typed variables.
+
+    Section 4 of the paper notes that when a programmer declares UID
+    variables as plain [int], the variables can be recovered "using
+    dataflow analysis by seeing which variables stored the result of
+    functions returning a known uid value (e.g., getuid) or were passed
+    as a parameter to a function expecting a user id (e.g., setuid)",
+    citing Splint. This module implements that analysis for mini-C.
+
+    The analysis is a whole-program fixpoint over:
+    - seeds: assignment from a UID-returning function, use as a
+      UID-typed argument;
+    - propagation through assignments, comparisons, argument passing
+      (inferring UID-ness of user function parameters), and returns
+      (inferring UID-ness of user function results). *)
+
+type var_id = { scope : string option; name : string }
+(** [scope = None] for globals, [Some f] for a local or parameter of
+    function [f]. *)
+
+val infer : Ast.program -> var_id list
+(** Variables inferred to hold UID values but not declared [uid_t],
+    sorted by scope then name. *)
+
+val apply : Ast.program -> Ast.program
+(** Rewrite the declarations (globals, locals, parameters and return
+    types) of inferred variables from [int] to [uid_t], producing a
+    program the UID transformer can handle. *)

@@ -1,0 +1,1 @@
+lib/os/cred.ml: Format Nv_vm

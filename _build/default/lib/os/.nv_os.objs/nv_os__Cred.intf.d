@@ -1,0 +1,1 @@
+lib/os/cred.mli: Format Nv_vm

@@ -1,0 +1,1 @@
+lib/os/kernel.ml: Array Buffer Cred Hashtbl Nv_vm Option Printf Socket String Syscall Vfs

@@ -1,0 +1,1 @@
+lib/os/kernel.mli: Cred Socket Vfs

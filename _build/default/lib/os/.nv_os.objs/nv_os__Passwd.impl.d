@@ -1,0 +1,1 @@
+lib/os/passwd.ml: Cred List Nv_vm Printf String

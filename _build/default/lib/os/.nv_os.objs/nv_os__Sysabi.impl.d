@@ -1,0 +1,1 @@
+lib/os/sysabi.ml: Array Bytes Nv_vm String

@@ -1,0 +1,1 @@
+lib/os/sysabi.mli: Nv_vm

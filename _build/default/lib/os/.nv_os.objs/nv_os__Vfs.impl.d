@@ -1,0 +1,1 @@
+lib/os/vfs.ml: Cred Hashtbl List String

@@ -1,0 +1,38 @@
+type uid = Nv_vm.Word.t
+type gid = Nv_vm.Word.t
+
+let root : uid = 0
+
+type t = { ruid : uid; euid : uid; rgid : gid; egid : gid }
+
+let superuser = { ruid = root; euid = root; rgid = 0; egid = 0 }
+
+let of_user ~uid ~gid = { ruid = uid; euid = uid; rgid = gid; egid = gid }
+
+let is_root t = t.euid = root
+
+type setid_error = Eperm
+
+let setuid t uid =
+  if t.euid = root then Ok { t with ruid = uid; euid = uid }
+  else if uid = t.ruid then Ok { t with euid = uid }
+  else Error Eperm
+
+let seteuid t uid =
+  if t.euid = root || t.ruid = root then Ok { t with euid = uid }
+  else if uid = t.ruid then Ok { t with euid = uid }
+  else Error Eperm
+
+let setgid t gid =
+  if t.euid = root then Ok { t with rgid = gid; egid = gid }
+  else if gid = t.rgid then Ok { t with egid = gid }
+  else Error Eperm
+
+let setegid t gid =
+  if t.euid = root || t.ruid = root then Ok { t with egid = gid }
+  else if gid = t.rgid then Ok { t with egid = gid }
+  else Error Eperm
+
+let pp ppf t =
+  Format.fprintf ppf "ruid=%a euid=%a rgid=%a egid=%a" Nv_vm.Word.pp t.ruid
+    Nv_vm.Word.pp t.euid Nv_vm.Word.pp t.rgid Nv_vm.Word.pp t.egid

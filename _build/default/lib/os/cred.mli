@@ -1,0 +1,42 @@
+(** User/group identities and process credentials.
+
+    UID and GID values are 32-bit words ({!Nv_vm.Word.t}); [0] is root.
+    These are the {e canonical} (un-reexpressed) values: the kernel side
+    of the data-diversity boundary always works on canonical UIDs, and
+    the monitor applies the per-variant reexpression functions when
+    values cross into or out of a variant. *)
+
+type uid = Nv_vm.Word.t
+type gid = Nv_vm.Word.t
+
+val root : uid
+(** 0. *)
+
+type t = { ruid : uid; euid : uid; rgid : gid; egid : gid }
+(** Real and effective user/group ids of a process. *)
+
+val superuser : t
+(** All ids 0. *)
+
+val of_user : uid:uid -> gid:gid -> t
+(** Credentials of an ordinary login: real = effective. *)
+
+val is_root : t -> bool
+(** Effective UID is root. *)
+
+type setid_error = Eperm
+
+val setuid : t -> uid -> (t, setid_error) result
+(** POSIX [setuid]: root may set all three of real/effective; an
+    unprivileged process may only set the effective UID to its real
+    UID. *)
+
+val seteuid : t -> uid -> (t, setid_error) result
+(** POSIX [seteuid]: root (by real or effective id) may set any
+    effective UID; others only their real UID. Privilege-drop servers
+    use this to toggle between root and the worker identity. *)
+
+val setgid : t -> gid -> (t, setid_error) result
+val setegid : t -> gid -> (t, setid_error) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,269 @@
+let err = Nv_vm.Word.of_signed (-1)
+
+let eagain = Nv_vm.Word.of_signed (-2)
+
+type file_desc = {
+  path : string;
+  mutable pos : int;
+  writable : bool;
+  append : bool;
+}
+
+type desc =
+  | Dnull
+  | Dcapture of Buffer.t
+  | Dfile of file_desc
+  | Dconn of Socket.conn
+
+type slot = Free | Shared of desc | Unshared of desc array
+
+type data = Shared_data of string | Per_variant of string array
+
+type t = {
+  vfs : Vfs.t;
+  variants : int;
+  mutable cred : Cred.t;
+  fds : slot array;
+  listener : Socket.listener;
+  stdout : Buffer.t;
+  stderr : Buffer.t;
+  unshared_paths : (string, unit) Hashtbl.t;
+  mutable exit_status : int option;
+  mutable syscalls : int;
+}
+
+let create ?(fd_limit = 64) ~variants vfs =
+  if variants < 1 then invalid_arg "Kernel.create: need at least one variant";
+  let stdout = Buffer.create 256 in
+  let stderr = Buffer.create 256 in
+  let fds = Array.make fd_limit Free in
+  fds.(0) <- Shared Dnull;
+  fds.(1) <- Shared (Dcapture stdout);
+  fds.(2) <- Shared (Dcapture stderr);
+  {
+    vfs;
+    variants;
+    cred = Cred.superuser;
+    fds;
+    listener = Socket.make_listener ();
+    stdout;
+    stderr;
+    unshared_paths = Hashtbl.create 8;
+    exit_status = None;
+    syscalls = 0;
+  }
+
+let vfs t = t.vfs
+
+let variants t = t.variants
+
+let cred t = t.cred
+
+let set_cred t cred = t.cred <- cred
+
+let listener t = t.listener
+
+let connect t = Socket.connect t.listener
+
+let register_unshared t path = Hashtbl.replace t.unshared_paths path ()
+
+let is_unshared t path = Hashtbl.mem t.unshared_paths path
+
+let stdout_contents t = Buffer.contents t.stdout
+
+let stderr_contents t = Buffer.contents t.stderr
+
+let exit_status t = t.exit_status
+
+let syscalls_executed t = t.syscalls
+
+let count t = t.syscalls <- t.syscalls + 1
+
+let alloc_fd t =
+  let rec scan i =
+    if i >= Array.length t.fds then None
+    else begin
+      match t.fds.(i) with Free -> Some i | Shared _ | Unshared _ -> scan (i + 1)
+    end
+  in
+  scan 3
+
+let slot t fd = if fd < 0 || fd >= Array.length t.fds then Free else t.fds.(fd)
+
+(* ------------------------------------------------------------------ *)
+(* Syscalls                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sys_exit t ~status =
+  count t;
+  t.exit_status <- Some status;
+  0
+
+let variant_path path i = Printf.sprintf "%s-%d" path i
+
+let open_one t path flags =
+  let access =
+    if flags land (Syscall.o_wronly lor Syscall.o_append) <> 0 then Vfs.Write_access
+    else Vfs.Read_access
+  in
+  match Vfs.open_file t.vfs ~cred:t.cred ~path ~access with
+  | Error _ -> None
+  | Ok () ->
+    let writable = access = Vfs.Write_access in
+    let append = flags land Syscall.o_append <> 0 in
+    if writable && not append then ignore (Vfs.set_contents t.vfs ~path "");
+    Some (Dfile { path; pos = 0; writable; append })
+
+let sys_open t ~path ~flags =
+  count t;
+  match alloc_fd t with
+  | None -> err
+  | Some fd ->
+    if is_unshared t path then begin
+      let descs =
+        Array.init t.variants (fun i -> open_one t (variant_path path i) flags)
+      in
+      if Array.for_all Option.is_some descs then begin
+        t.fds.(fd) <- Unshared (Array.map Option.get descs);
+        fd
+      end
+      else err
+    end
+    else begin
+      match open_one t path flags with
+      | None -> err
+      | Some desc ->
+        t.fds.(fd) <- Shared desc;
+        fd
+    end
+
+let sys_close t ~fd =
+  count t;
+  match slot t fd with
+  | Free -> err
+  | Shared (Dconn conn) ->
+    Socket.server_close conn;
+    t.fds.(fd) <- Free;
+    0
+  | Shared _ | Unshared _ ->
+    t.fds.(fd) <- Free;
+    0
+
+let read_desc t desc len =
+  match desc with
+  | Dnull -> ""
+  | Dcapture _ -> ""
+  | Dconn conn -> Socket.server_read conn ~max:len
+  | Dfile f -> (
+    match Vfs.contents t.vfs ~path:f.path with
+    | Error _ -> ""
+    | Ok content ->
+      let available = String.length content - f.pos in
+      let n = max 0 (min len available) in
+      let data = String.sub content f.pos n in
+      f.pos <- f.pos + n;
+      data)
+
+let sys_read t ~fd ~len =
+  count t;
+  let len = max 0 len in
+  match slot t fd with
+  | Free -> (Nv_vm.Word.to_signed err, Shared_data "")
+  | Shared desc ->
+    let data = read_desc t desc len in
+    (String.length data, Shared_data data)
+  | Unshared descs ->
+    let chunks = Array.map (fun desc -> read_desc t desc len) descs in
+    let n = if Array.length chunks > 0 then String.length chunks.(0) else 0 in
+    (n, Per_variant chunks)
+
+let write_desc t desc bytes =
+  match desc with
+  | Dnull -> String.length bytes
+  | Dcapture buf ->
+    Buffer.add_string buf bytes;
+    String.length bytes
+  | Dconn conn -> Socket.server_write conn bytes
+  | Dfile f ->
+    if not f.writable then Nv_vm.Word.to_signed err
+    else begin
+      match Vfs.append_contents t.vfs ~path:f.path bytes with
+      | Error _ -> Nv_vm.Word.to_signed err
+      | Ok () -> String.length bytes
+    end
+
+let sys_write t ~fd ~data =
+  count t;
+  match (slot t fd, data) with
+  | (Free, _) -> Nv_vm.Word.to_signed err
+  | (Shared desc, Shared_data bytes) -> write_desc t desc bytes
+  | (Shared desc, Per_variant chunks) ->
+    (* Variants wrote different bytes to a shared descriptor; the
+       monitor should have raised an alarm before getting here, but we
+       fail safe by writing variant 0's bytes. *)
+    write_desc t desc (if Array.length chunks > 0 then chunks.(0) else "")
+  | (Unshared descs, Per_variant chunks) when Array.length chunks = Array.length descs ->
+    let results = Array.map2 (fun desc bytes -> write_desc t desc bytes) descs chunks in
+    Array.fold_left min max_int results
+  | (Unshared descs, Shared_data bytes) ->
+    let results = Array.map (fun desc -> write_desc t desc bytes) descs in
+    Array.fold_left min max_int results
+  | (Unshared _, Per_variant _) -> Nv_vm.Word.to_signed err
+
+let sys_accept t =
+  count t;
+  match Socket.accept t.listener with
+  | None -> eagain
+  | Some conn -> (
+    match alloc_fd t with
+    | None -> err
+    | Some fd ->
+      t.fds.(fd) <- Shared (Dconn conn);
+      fd)
+
+let sys_getuid t =
+  count t;
+  t.cred.Cred.ruid
+
+let sys_geteuid t =
+  count t;
+  t.cred.Cred.euid
+
+let sys_getgid t =
+  count t;
+  t.cred.Cred.rgid
+
+let sys_getegid t =
+  count t;
+  t.cred.Cred.egid
+
+let apply_setid t result =
+  match result with
+  | Ok cred ->
+    t.cred <- cred;
+    0
+  | Error Cred.Eperm -> err
+
+let sys_setuid t ~uid =
+  count t;
+  apply_setid t (Cred.setuid t.cred uid)
+
+let sys_seteuid t ~uid =
+  count t;
+  apply_setid t (Cred.seteuid t.cred uid)
+
+let sys_setgid t ~gid =
+  count t;
+  apply_setid t (Cred.setgid t.cred gid)
+
+let sys_setegid t ~gid =
+  count t;
+  apply_setid t (Cred.setegid t.cred gid)
+
+let fd_is_unshared t ~fd =
+  match slot t fd with Unshared _ -> true | Free | Shared _ -> false
+
+let conn_of_fd t ~fd =
+  match slot t fd with
+  | Shared (Dconn conn) -> Some conn
+  | Free | Shared _ | Unshared _ -> None

@@ -1,0 +1,112 @@
+type entry = {
+  name : string;
+  uid : Cred.uid;
+  gid : Cred.gid;
+  gecos : string;
+  home : string;
+  shell : string;
+}
+
+type group_entry = { group_name : string; gid : Cred.gid; members : string list }
+
+let nonempty_lines text =
+  String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+
+let parse_uid_field line s =
+  match int_of_string_opt s with
+  | Some v when v >= 0 && v <= Nv_vm.Word.max_value -> Ok v
+  | Some _ | None -> Error (Printf.sprintf "bad uid/gid field in %S" line)
+
+let parse text =
+  let parse_line line =
+    match String.split_on_char ':' line with
+    | [ name; _password; uid; gid; gecos; home; shell ] -> (
+      match (parse_uid_field line uid, parse_uid_field line gid) with
+      | Ok uid, Ok gid -> Ok { name; uid; gid; gecos; home; shell }
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+    | _ -> Error (Printf.sprintf "malformed passwd line %S" line)
+  in
+  let rec all acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line line with Ok e -> all (e :: acc) rest | Error _ as e -> e)
+  in
+  all [] (nonempty_lines text)
+
+let serialize entries =
+  entries
+  |> List.map (fun e ->
+         Printf.sprintf "%s:x:%d:%d:%s:%s:%s" e.name e.uid e.gid e.gecos e.home e.shell)
+  |> String.concat "\n"
+  |> fun body -> body ^ "\n"
+
+let parse_group text =
+  let parse_line line =
+    match String.split_on_char ':' line with
+    | [ group_name; _password; gid; members ] -> (
+      match parse_uid_field line gid with
+      | Ok gid ->
+        let members =
+          if members = "" then [] else String.split_on_char ',' members
+        in
+        Ok { group_name; gid; members }
+      | Error _ as e -> e)
+    | _ -> Error (Printf.sprintf "malformed group line %S" line)
+  in
+  let rec all acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line line with Ok e -> all (e :: acc) rest | Error _ as e -> e)
+  in
+  all [] (nonempty_lines text)
+
+let serialize_group groups =
+  groups
+  |> List.map (fun g ->
+         Printf.sprintf "%s:x:%d:%s" g.group_name g.gid (String.concat "," g.members))
+  |> String.concat "\n"
+  |> fun body -> body ^ "\n"
+
+let lookup entries name = List.find_opt (fun e -> e.name = name) entries
+
+let lookup_uid entries uid = List.find_opt (fun e -> e.uid = uid) entries
+
+let reexpress ~f text =
+  match parse text with
+  | Error _ as e -> e
+  | Ok entries ->
+    Ok (serialize (List.map (fun e -> { e with uid = f e.uid; gid = f e.gid }) entries))
+
+let reexpress_group ~f text =
+  match parse_group text with
+  | Error _ as e -> e
+  | Ok groups -> Ok (serialize_group (List.map (fun g -> { g with gid = f g.gid }) groups))
+
+let sample =
+  [
+    { name = "root"; uid = 0; gid = 0; gecos = "root"; home = "/root"; shell = "/bin/sh" };
+    {
+      name = "daemon"; uid = 1; gid = 1; gecos = "daemon"; home = "/usr/sbin";
+      shell = "/usr/sbin/nologin";
+    };
+    {
+      name = "www"; uid = 33; gid = 33; gecos = "www data"; home = "/var/www";
+      shell = "/usr/sbin/nologin";
+    };
+    {
+      name = "alice"; uid = 1000; gid = 1000; gecos = "Alice"; home = "/home/alice";
+      shell = "/bin/sh";
+    };
+    {
+      name = "bob"; uid = 1001; gid = 1001; gecos = "Bob"; home = "/home/bob";
+      shell = "/bin/sh";
+    };
+  ]
+
+let sample_groups =
+  [
+    { group_name = "root"; gid = 0; members = [] };
+    { group_name = "daemon"; gid = 1; members = [] };
+    { group_name = "www"; gid = 33; members = [] };
+    { group_name = "users"; gid = 100; members = [ "alice"; "bob" ] };
+  ]

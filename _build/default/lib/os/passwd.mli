@@ -1,0 +1,48 @@
+(** The [/etc/passwd] and [/etc/group] file formats, and generation of
+    the diversified (reexpressed) copies used as unshared files.
+
+    Section 3.4 of the paper keeps one reexpressed copy of each trusted
+    UID-bearing file per variant ([/etc/passwd-0], [/etc/passwd-1]...)
+    rather than reexpressing on the read path, which would hand the
+    attacker a reusable transformation oracle. *)
+
+type entry = {
+  name : string;
+  uid : Cred.uid;
+  gid : Cred.gid;
+  gecos : string;
+  home : string;
+  shell : string;
+}
+
+type group_entry = { group_name : string; gid : Cred.gid; members : string list }
+
+val parse : string -> (entry list, string) result
+(** Parse passwd-format text ([name:x:uid:gid:gecos:home:shell] lines;
+    blank lines ignored). The error carries the first offending line. *)
+
+val serialize : entry list -> string
+
+val parse_group : string -> (group_entry list, string) result
+(** [name:x:gid:member,member...] lines. *)
+
+val serialize_group : group_entry list -> string
+
+val lookup : entry list -> string -> entry option
+(** Find an entry by user name. *)
+
+val lookup_uid : entry list -> Cred.uid -> entry option
+
+val reexpress : f:(Cred.uid -> Cred.uid) -> string -> (string, string) result
+(** Apply a UID reexpression function to every UID and GID field of a
+    passwd-format file, leaving everything else byte-identical. This is
+    how the per-variant unshared copies are produced. *)
+
+val reexpress_group : f:(Cred.uid -> Cred.uid) -> string -> (string, string) result
+
+val sample : entry list
+(** A small realistic passwd database: root, daemon, www (the server
+    worker), and two ordinary users. Used by tests, examples and the
+    case study. *)
+
+val sample_groups : group_entry list

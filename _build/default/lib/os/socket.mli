@@ -1,0 +1,53 @@
+(** Simulated TCP connections between workload clients and the guest
+    server.
+
+    A {!conn} is a pair of byte streams. The client side writes the
+    request with {!client_send} and reads the response with
+    {!client_recv}; the server side reads and writes through kernel
+    [read]/[write] syscalls on the fd returned by [accept]. *)
+
+type conn
+
+type listener
+(** Pending-connection queue of a listening server. *)
+
+val make_listener : unit -> listener
+
+val connect : listener -> conn
+(** Create a connection and enqueue it for [accept]. *)
+
+val pending : listener -> int
+
+val accept : listener -> conn option
+(** Dequeue the oldest pending connection. *)
+
+val conn_id : conn -> int
+(** Unique id, for tracing. *)
+
+(* Client side *)
+
+val client_send : conn -> string -> unit
+(** Append bytes to the server-bound stream. Raises [Invalid_argument]
+    if the client already half-closed. *)
+
+val client_close : conn -> unit
+(** Half-close: the server sees EOF after draining buffered bytes. *)
+
+val client_recv : conn -> string
+(** Drain everything the server has written so far. *)
+
+val server_closed : conn -> bool
+
+(* Server side (used by the kernel) *)
+
+val server_read : conn -> max:int -> string
+(** Up to [max] buffered request bytes; [""] at EOF or when nothing is
+    buffered. *)
+
+val server_has_data : conn -> bool
+val server_at_eof : conn -> bool
+
+val server_write : conn -> string -> int
+(** Append response bytes; returns the byte count written. *)
+
+val server_close : conn -> unit

@@ -1,0 +1,22 @@
+module Cpu = Nv_vm.Cpu
+module Memory = Nv_vm.Memory
+
+type raw = { number : int; args : Nv_vm.Word.t array }
+
+let of_cpu cpu =
+  { number = Cpu.reg cpu 0; args = Array.init 5 (fun i -> Cpu.reg cpu (i + 1)) }
+
+let set_result cpu value = Cpu.set_reg cpu 0 value
+
+let retry_syscall cpu = Cpu.set_pc cpu (Cpu.pc cpu - Nv_vm.Isa.instr_size)
+
+let max_path = 4096
+
+let read_string memory ~addr = Memory.load_cstring memory ~addr ~max_len:max_path
+
+let read_bytes memory ~addr ~len =
+  if len <= 0 then "" else Bytes.to_string (Memory.load_bytes memory ~addr ~len)
+
+let write_bytes memory ~addr data =
+  if String.length data > 0 then
+    Memory.store_bytes memory ~addr (Bytes.of_string data)

@@ -1,0 +1,219 @@
+type error = Enoent | Eacces | Eisdir | Enotdir | Eexist
+
+let error_to_string = function
+  | Enoent -> "no such file or directory"
+  | Eacces -> "permission denied"
+  | Eisdir -> "is a directory"
+  | Enotdir -> "not a directory"
+  | Eexist -> "file exists"
+
+type attrs = { mode : int; owner : Cred.uid; group : Cred.gid }
+
+type node =
+  | File of { mutable content : string; mutable attrs : attrs }
+  | Dir of { entries : (string, node) Hashtbl.t; mutable attrs : attrs }
+
+type t = { root : node }
+
+let default_dir_attrs = { mode = 0o755; owner = 0; group = 0 }
+
+let default_file_attrs = { mode = 0o644; owner = 0; group = 0 }
+
+let create () = { root = Dir { entries = Hashtbl.create 16; attrs = default_dir_attrs } }
+
+(* Split and normalize a path: "." is dropped, ".." pops (stopping at
+   the root, as the kernel does). Traversal sequences are resolved
+   here, which is what makes the case-study server's "GET
+   /../secret/shadow" escape from its document root meaningful. *)
+let components path =
+  String.split_on_char '/' path
+  |> List.filter (fun c -> c <> "" && c <> ".")
+  |> List.fold_left
+       (fun acc comp ->
+         match (comp, acc) with
+         | "..", [] -> []
+         | "..", _ :: rest -> rest
+         | _, _ -> comp :: acc)
+       []
+  |> List.rev
+
+let rec lookup node = function
+  | [] -> Ok node
+  | name :: rest -> (
+    match node with
+    | File _ -> Error Enotdir
+    | Dir { entries; _ } -> (
+      match Hashtbl.find_opt entries name with
+      | None -> Error Enoent
+      | Some child -> lookup child rest))
+
+let find t path = lookup t.root (components path)
+
+(* ------------------------------------------------------------------ *)
+(* Setup interface                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mkdir_p t ?(attrs = default_dir_attrs) path =
+  let rec descend node = function
+    | [] -> ()
+    | name :: rest -> (
+      match node with
+      | File _ -> invalid_arg "Vfs.mkdir_p: path component is a file"
+      | Dir { entries; _ } -> (
+        match Hashtbl.find_opt entries name with
+        | Some child -> descend child rest
+        | None ->
+          let child = Dir { entries = Hashtbl.create 8; attrs } in
+          Hashtbl.add entries name child;
+          descend child rest))
+  in
+  descend t.root (components path)
+
+let split_parent path =
+  match List.rev (components path) with
+  | [] -> invalid_arg "Vfs: empty path"
+  | name :: rev_parents -> (List.rev rev_parents, name)
+
+let install t ?(attrs = default_file_attrs) ~path content =
+  let parents, name = split_parent path in
+  let rec descend node = function
+    | [] -> (
+      match node with
+      | File _ -> invalid_arg "Vfs.install: parent is a file"
+      | Dir { entries; _ } -> (
+        match Hashtbl.find_opt entries name with
+        | Some (File f) ->
+          f.content <- content;
+          f.attrs <- attrs
+        | Some (Dir _) -> invalid_arg "Vfs.install: path is a directory"
+        | None -> Hashtbl.add entries name (File { content; attrs })))
+    | comp :: rest -> (
+      match node with
+      | File _ -> invalid_arg "Vfs.install: path component is a file"
+      | Dir { entries; _ } -> (
+        match Hashtbl.find_opt entries comp with
+        | Some child -> descend child rest
+        | None ->
+          let child = Dir { entries = Hashtbl.create 8; attrs = default_dir_attrs } in
+          Hashtbl.add entries comp child;
+          descend child rest))
+  in
+  descend t.root parents
+
+(* ------------------------------------------------------------------ *)
+(* Permission checking                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type access = Read_access | Write_access
+
+let permits attrs (cred : Cred.t) access =
+  if Cred.is_root cred then true
+  else begin
+    let bits =
+      if cred.Cred.euid = attrs.owner then (attrs.mode lsr 6) land 7
+      else if cred.Cred.egid = attrs.group then (attrs.mode lsr 3) land 7
+      else attrs.mode land 7
+    in
+    match access with Read_access -> bits land 4 <> 0 | Write_access -> bits land 2 <> 0
+  end
+
+let node_attrs = function File { attrs; _ } -> attrs | Dir { attrs; _ } -> attrs
+
+(* Walk the directory chain checking execute (search) permission on
+   each directory, then apply the requested access check on the leaf. *)
+let resolve_checked t ~cred ~path ~access =
+  let rec walk node = function
+    | [] -> Ok node
+    | name :: rest -> (
+      match node with
+      | File _ -> Error Enotdir
+      | Dir { entries; attrs } ->
+        let search_ok =
+          Cred.is_root cred
+          ||
+          let bits =
+            if cred.Cred.euid = attrs.owner then (attrs.mode lsr 6) land 7
+            else if cred.Cred.egid = attrs.group then (attrs.mode lsr 3) land 7
+            else attrs.mode land 7
+          in
+          bits land 1 <> 0
+        in
+        if not search_ok then Error Eacces
+        else begin
+          match Hashtbl.find_opt entries name with
+          | None -> Error Enoent
+          | Some child -> walk child rest
+        end)
+  in
+  match walk t.root (components path) with
+  | Error _ as e -> e
+  | Ok node ->
+    if permits (node_attrs node) cred access then Ok node else Error Eacces
+
+let open_file t ~cred ~path ~access =
+  match resolve_checked t ~cred ~path ~access with
+  | Error _ as e -> e
+  | Ok (Dir _) -> Error Eisdir
+  | Ok (File _) -> Ok ()
+
+let read_file t ~cred ~path =
+  match resolve_checked t ~cred ~path ~access:Read_access with
+  | Error _ as e -> e
+  | Ok (Dir _) -> Error Eisdir
+  | Ok (File { content; _ }) -> Ok content
+
+let append_file t ~cred ~path data =
+  match resolve_checked t ~cred ~path ~access:Write_access with
+  | Error _ as e -> e
+  | Ok (Dir _) -> Error Eisdir
+  | Ok (File f) ->
+    f.content <- f.content ^ data;
+    Ok ()
+
+let truncate_file t ~cred ~path =
+  match resolve_checked t ~cred ~path ~access:Write_access with
+  | Error _ as e -> e
+  | Ok (Dir _) -> Error Eisdir
+  | Ok (File f) ->
+    f.content <- "";
+    Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Unchecked accessors                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let contents t ~path =
+  match find t path with
+  | Error _ as e -> e
+  | Ok (Dir _) -> Error Eisdir
+  | Ok (File { content; _ }) -> Ok content
+
+let set_contents t ~path content =
+  match find t path with
+  | Error _ as e -> e
+  | Ok (Dir _) -> Error Eisdir
+  | Ok (File f) ->
+    f.content <- content;
+    Ok ()
+
+let append_contents t ~path data =
+  match find t path with
+  | Error _ as e -> e
+  | Ok (Dir _) -> Error Eisdir
+  | Ok (File f) ->
+    f.content <- f.content ^ data;
+    Ok ()
+
+let exists t path = match find t path with Ok _ -> true | Error _ -> false
+
+let is_dir t path = match find t path with Ok (Dir _) -> true | Ok (File _) | Error _ -> false
+
+let stat t path =
+  match find t path with Error _ as e -> e | Ok node -> Ok (node_attrs node)
+
+let list_dir t path =
+  match find t path with
+  | Error _ as e -> e
+  | Ok (File _) -> Error Enotdir
+  | Ok (Dir { entries; _ }) ->
+    Ok (Hashtbl.fold (fun name _ acc -> name :: acc) entries [] |> List.sort compare)

@@ -1,0 +1,59 @@
+(** In-memory virtual filesystem with Unix-style permission bits.
+
+    Paths are absolute, [/]-separated. Each file and directory carries
+    an owner UID, a group GID and a mode ([0o644]-style). Permission
+    checks follow the usual owner/group/other rules, with effective UID
+    0 bypassing them. *)
+
+type t
+
+(** Paths are normalized before resolution: ["."] components are
+    dropped and [".."] pops one level (stopping at the root), so
+    ["/var/www/../../secret/x"] resolves to ["/secret/x"]. *)
+
+type error = Enoent | Eacces | Eisdir | Enotdir | Eexist
+
+val error_to_string : error -> string
+
+type attrs = { mode : int; owner : Cred.uid; group : Cred.gid }
+
+(* Setup interface: no permission checks; used to populate the image of
+   the world before the simulation starts. *)
+
+val create : unit -> t
+(** Filesystem containing only the root directory (mode [0o755],
+    owned by root). *)
+
+val mkdir_p : t -> ?attrs:attrs -> string -> unit
+(** Create a directory chain. Existing components are left untouched.
+    Raises [Invalid_argument] if a file is in the way. *)
+
+val install : t -> ?attrs:attrs -> path:string -> string -> unit
+(** Create or replace a file with the given content (default attrs:
+    [0o644], root/root). Parent directories are created as needed. *)
+
+(* Runtime interface: permission-checked. *)
+
+type access = Read_access | Write_access
+
+val open_file :
+  t -> cred:Cred.t -> path:string -> access:access -> (unit, error) result
+(** Check that [cred] may open [path] for [access]. *)
+
+val read_file : t -> cred:Cred.t -> path:string -> (string, error) result
+
+val append_file : t -> cred:Cred.t -> path:string -> string -> (unit, error) result
+
+val truncate_file : t -> cred:Cred.t -> path:string -> (unit, error) result
+
+(* Unchecked accessors used by the kernel once an open has succeeded. *)
+
+val contents : t -> path:string -> (string, error) result
+val set_contents : t -> path:string -> string -> (unit, error) result
+val append_contents : t -> path:string -> string -> (unit, error) result
+
+val exists : t -> string -> bool
+val is_dir : t -> string -> bool
+val stat : t -> string -> (attrs, error) result
+val list_dir : t -> string -> (string list, error) result
+(** Sorted entry names. *)

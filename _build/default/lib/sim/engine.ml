@@ -1,0 +1,44 @@
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  queue : (unit -> unit) Heap.t;
+}
+
+let create () = { clock = 0.0; seq = 0; queue = Heap.create () }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  t.seq <- t.seq + 1;
+  Heap.push t.queue ~key:time ~seq:t.seq f
+
+let schedule_after t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, _, f) ->
+    t.clock <- time;
+    f ();
+    true
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> not (Heap.is_empty t.queue)
+    | Some horizon -> (
+      match Heap.peek t.queue with
+      | None -> false
+      | Some (time, _, _) -> time <= horizon)
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some horizon when t.clock < horizon -> t.clock <- horizon
+  | Some _ | None -> ()
+
+let pending t = Heap.size t.queue

@@ -1,0 +1,33 @@
+(** Discrete-event simulation engine.
+
+    Time is a [float] in seconds. Events are callbacks scheduled at
+    absolute or relative times; events at equal times fire in the order
+    they were scheduled. The engine is single-threaded and
+    deterministic. *)
+
+type t
+
+val create : unit -> t
+(** Fresh engine with the clock at 0. *)
+
+val now : t -> float
+(** Current simulated time in seconds. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** [schedule_at t ~time f] runs [f] when the clock reaches [time].
+    Raises [Invalid_argument] if [time] is in the past. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule_after t ~delay f] is [schedule_at] at [now t +. delay].
+    Raises [Invalid_argument] on a negative delay. *)
+
+val run : ?until:float -> t -> unit
+(** Process events in time order until the queue is empty, or until the
+    clock would pass [until] (remaining events stay queued and the
+    clock is set to [until]). *)
+
+val step : t -> bool
+(** Process a single event. Returns [false] when the queue is empty. *)
+
+val pending : t -> int
+(** Number of queued events. *)

@@ -1,0 +1,69 @@
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let is_empty t = t.len = 0
+
+let size t = t.len
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow t entry =
+  let capacity = Array.length t.data in
+  if t.len = capacity then begin
+    let new_capacity = max 16 (2 * capacity) in
+    let data = Array.make new_capacity entry in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.len && less t.data.(left) t.data.(!smallest) then smallest := left;
+  if right < t.len && less t.data.(right) t.data.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~key ~seq value =
+  let entry = { key; seq; value } in
+  grow t entry;
+  t.data.(t.len) <- entry;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let root = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some (root.key, root.seq, root.value)
+  end
+
+let peek t =
+  if t.len = 0 then None
+  else begin
+    let root = t.data.(0) in
+    Some (root.key, root.seq, root.value)
+  end

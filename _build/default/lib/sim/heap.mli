@@ -1,0 +1,22 @@
+(** Binary min-heap keyed by [(float, int)] pairs.
+
+    The integer component is a tie-breaking sequence number so that
+    events scheduled at the same simulated instant pop in FIFO order,
+    which keeps the discrete-event engine deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> key:float -> seq:int -> 'a -> unit
+(** Insert an element with the given priority key and tie-breaker. *)
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum element, or [None] if empty. *)
+
+val peek : 'a t -> (float * int * 'a) option
+(** Return the minimum element without removing it. *)

@@ -1,0 +1,45 @@
+type job = { duration : float; complete : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  capacity : int;
+  mutable busy : int;
+  mutable busy_time : float;
+  waiting : job Queue.t;
+}
+
+let create engine ~name ~capacity =
+  if capacity < 1 then invalid_arg "Resource.create: capacity must be >= 1";
+  { engine; name; capacity; busy = 0; busy_time = 0.0; waiting = Queue.create () }
+
+let name t = t.name
+
+let rec start t job =
+  t.busy <- t.busy + 1;
+  t.busy_time <- t.busy_time +. job.duration;
+  Engine.schedule_after t.engine ~delay:job.duration (fun () -> finish t job)
+
+and finish t job =
+  t.busy <- t.busy - 1;
+  job.complete ();
+  (* The completion callback may itself have submitted work; only pull
+     from the queue if a slot is still free afterwards. *)
+  if t.busy < t.capacity && not (Queue.is_empty t.waiting) then
+    start t (Queue.pop t.waiting)
+
+let serve t ~duration complete =
+  if duration < 0.0 then invalid_arg "Resource.serve: negative duration";
+  let job = { duration; complete } in
+  if t.busy < t.capacity then start t job else Queue.push job t.waiting
+
+let busy t = t.busy
+
+let queue_length t = Queue.length t.waiting
+
+let busy_time t = t.busy_time
+
+let utilization t =
+  let elapsed = Engine.now t.engine in
+  if elapsed <= 0.0 then 0.0
+  else t.busy_time /. (float_of_int t.capacity *. elapsed)

@@ -1,0 +1,31 @@
+(** FIFO service resources for queueing models.
+
+    A resource has [capacity] concurrent service slots (a CPU core count
+    or a number of NIC lanes). Jobs submitted with {!serve} wait in FIFO
+    order for a free slot, hold it for their service duration, then run
+    their completion callback. Utilization accounting supports the
+    throughput/latency reports for Table 3. *)
+
+type t
+
+val create : Engine.t -> name:string -> capacity:int -> t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val name : t -> string
+
+val serve : t -> duration:float -> (unit -> unit) -> unit
+(** [serve t ~duration k] enqueues a job that needs [duration] seconds
+    of a slot; [k] fires at completion. Raises [Invalid_argument] on a
+    negative duration. *)
+
+val busy : t -> int
+(** Slots currently in service. *)
+
+val queue_length : t -> int
+(** Jobs waiting for a slot. *)
+
+val busy_time : t -> float
+(** Accumulated slot-seconds of service delivered so far. *)
+
+val utilization : t -> float
+(** [busy_time / (capacity * now)]; 0 when the clock is at 0. *)

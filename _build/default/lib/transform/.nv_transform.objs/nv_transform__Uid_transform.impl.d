@@ -1,0 +1,1 @@
+lib/transform/uid_transform.ml: Array Ast Codegen Format Lexer List Nv_core Nv_minic Nv_vm Option Parser Pretty Printf Set String Tast Typecheck

@@ -1,0 +1,1 @@
+lib/transform/uid_transform.mli: Format Nv_core Nv_minic Nv_vm

@@ -1,0 +1,1 @@
+lib/util/logsrc.ml: Logs Logs_fmt

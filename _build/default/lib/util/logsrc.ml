@@ -1,0 +1,8 @@
+let monitor = Logs.Src.create "nv.monitor" ~doc:"N-variant monitor events"
+let kernel = Logs.Src.create "nv.kernel" ~doc:"Simulated kernel syscalls"
+let vm = Logs.Src.create "nv.vm" ~doc:"Virtual machine traps"
+let workload = Logs.Src.create "nv.workload" ~doc:"Workload generator"
+
+let setup ?(level = Logs.Warning) () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some level)

@@ -1,0 +1,18 @@
+(** Shared {!Logs} sources for the library's subsystems. *)
+
+val monitor : Logs.src
+(** Rendezvous / divergence events from the N-variant monitor. *)
+
+val kernel : Logs.src
+(** Simulated-kernel syscall dispatch. *)
+
+val vm : Logs.src
+(** Virtual machine faults and traps. *)
+
+val workload : Logs.src
+(** Workload generator progress. *)
+
+val setup : ?level:Logs.level -> unit -> unit
+(** Install a [Fmt]-based reporter on stderr and set the global level
+    (default [Logs.Warning]). Intended for executables; the library
+    itself never calls this. *)

@@ -1,0 +1,28 @@
+(** Descriptive statistics for benchmark and workload reporting. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0 when n < 2. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation on the
+    sorted copy. Raises [Invalid_argument] on an empty array or a [p]
+    outside the range. *)
+
+val summarize : float array -> summary
+(** Full summary. Raises [Invalid_argument] on an empty array. *)
+
+val pp_summary : Format.formatter -> summary -> unit

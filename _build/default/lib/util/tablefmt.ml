@@ -1,0 +1,56 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render ?align ~header ~rows () =
+  let ncols = List.length header in
+  let normalize row =
+    let n = List.length row in
+    if n > ncols then invalid_arg "Tablefmt.render: row wider than header";
+    row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let aligns =
+    match align with
+    | Some a when Array.length a = ncols -> a
+    | Some _ -> invalid_arg "Tablefmt.render: align length mismatch"
+    | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    rows;
+  let buf = Buffer.create 256 in
+  let sep =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let emit_row row =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad aligns.(i) widths.(i) cell);
+        Buffer.add_string buf " |")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf (sep ^ "\n");
+  emit_row header;
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter emit_row rows;
+  Buffer.add_string buf (sep ^ "\n");
+  Buffer.contents buf
+
+let print ?align ~header ~rows () =
+  print_string (render ?align ~header ~rows ());
+  flush stdout

@@ -1,0 +1,21 @@
+(** Plain-text table rendering for benchmark reports.
+
+    Produces aligned, boxed tables similar to the ones in the paper, so
+    the bench harness can print "Table 3"-style output directly. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align array ->
+  header:string list ->
+  rows:string list list ->
+  unit ->
+  string
+(** [render ~header ~rows ()] lays out the table with column widths fit
+    to content. [align] gives per-column alignment (default: first
+    column left, the rest right). Rows shorter than the header are
+    padded with empty cells; longer rows raise [Invalid_argument]. *)
+
+val print :
+  ?align:align array -> header:string list -> rows:string list list -> unit -> unit
+(** [render] followed by [print_string] and a flush. *)

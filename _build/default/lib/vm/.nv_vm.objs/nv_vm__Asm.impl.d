@@ -1,0 +1,1 @@
+lib/vm/asm.ml: Array Buffer Bytes Char Hashtbl Image Isa List Printf String Word

@@ -1,0 +1,1 @@
+lib/vm/cpu.ml: Array Bytes Char Format Isa Memory Word

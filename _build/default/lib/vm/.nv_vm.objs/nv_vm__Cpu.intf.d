@@ -1,0 +1,1 @@
+lib/vm/cpu.mli: Format Memory Word

@@ -1,0 +1,1 @@
+lib/vm/disasm.ml: Buffer Format Isa Memory Printf

@@ -1,0 +1,1 @@
+lib/vm/image.ml: Array Bytes Cpu Isa List Memory Printf Word

@@ -1,0 +1,1 @@
+lib/vm/image.mli: Bytes Cpu Isa Memory

@@ -1,0 +1,1 @@
+lib/vm/isa.mli: Bytes Format Word

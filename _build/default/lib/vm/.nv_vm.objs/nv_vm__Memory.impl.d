@@ -1,0 +1,1 @@
+lib/vm/memory.ml: Buffer Bytes Char String Word

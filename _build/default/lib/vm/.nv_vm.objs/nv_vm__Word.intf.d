@@ -1,0 +1,1 @@
+lib/vm/word.mli: Format

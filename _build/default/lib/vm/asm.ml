@@ -1,0 +1,330 @@
+exception Error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizing                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let strip_comment line =
+  match String.index_opt line ';' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+(* Split a statement into tokens. Commas act as whitespace; a quoted
+   string is one token (with its quotes). *)
+let tokenize lineno line =
+  let n = String.length line in
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  let rec scan i =
+    if i >= n then flush ()
+    else begin
+      match line.[i] with
+      | ' ' | '\t' | ',' ->
+        flush ();
+        scan (i + 1)
+      | '"' ->
+        flush ();
+        let rec str j =
+          if j >= n then fail lineno "unterminated string literal"
+          else if line.[j] = '"' then j
+          else if line.[j] = '\\' && j + 1 < n then begin
+            (match line.[j + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | '0' -> Buffer.add_char buf '\000'
+            | c -> Buffer.add_char buf c);
+            str (j + 2)
+          end
+          else begin
+            Buffer.add_char buf line.[j];
+            str (j + 1)
+          end
+        in
+        let close = str (i + 1) in
+        tokens := ("\"" ^ Buffer.contents buf) :: !tokens;
+        Buffer.clear buf;
+        scan (close + 1)
+      | c ->
+        Buffer.add_char buf c;
+        scan (i + 1)
+    end
+  in
+  scan 0;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Operand parsing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let parse_int lineno s =
+  let parse s = try Some (int_of_string s) with Failure _ -> None in
+  match parse s with
+  | Some v -> v
+  | None -> fail lineno "invalid number %S" s
+
+let parse_reg lineno s =
+  let bad () = fail lineno "invalid register %S" s in
+  if String.length s < 2 || s.[0] <> 'r' then bad ();
+  match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+  | Some r when r >= 0 && r <= 15 -> r
+  | Some _ | None -> bad ()
+
+(* [rN], [rN+off], [rN-off] *)
+let parse_mem lineno s =
+  let n = String.length s in
+  if n < 4 || s.[0] <> '[' || s.[n - 1] <> ']' then
+    fail lineno "invalid memory operand %S" s;
+  let inner = String.sub s 1 (n - 2) in
+  let split_at idx =
+    let reg = parse_reg lineno (String.sub inner 0 idx) in
+    let off = parse_int lineno (String.sub inner idx (String.length inner - idx)) in
+    (reg, off)
+  in
+  match String.index_opt inner '+' with
+  | Some i -> split_at i
+  | None -> (
+    (* A '-' that is not the leading character separates reg and offset. *)
+    match String.index_from_opt inner 1 '-' with
+    | Some i -> split_at i
+    | None -> (parse_reg lineno inner, 0))
+
+type operand_token = Oreg of int | Oimm of int | Olabel of string
+
+let parse_operand lineno s =
+  if String.length s = 0 then fail lineno "empty operand"
+  else if s.[0] = '#' then Oimm (parse_int lineno (String.sub s 1 (String.length s - 1)))
+  else if s.[0] = 'r' && String.length s <= 3 && int_of_string_opt (String.sub s 1 (String.length s - 1)) <> None
+  then Oreg (parse_reg lineno s)
+  else Olabel s
+
+(* ------------------------------------------------------------------ *)
+(* First pass: statements                                              *)
+(* ------------------------------------------------------------------ *)
+
+type pending_instr = {
+  lineno : int;
+  build : resolve:(string -> int) -> Image.item;
+}
+
+type section = Text | Data
+
+let binops =
+  [
+    ("add", Isa.Add); ("sub", Isa.Sub); ("mul", Isa.Mul); ("div", Isa.Div);
+    ("mod", Isa.Mod); ("and", Isa.And); ("or", Isa.Or); ("xor", Isa.Xor);
+    ("shl", Isa.Shl); ("shr", Isa.Shr); ("sar", Isa.Sar);
+  ]
+
+let conds =
+  [
+    ("eq", Isa.Eq); ("ne", Isa.Ne); ("lt", Isa.Lt); ("le", Isa.Le);
+    ("gt", Isa.Gt); ("ge", Isa.Ge); ("ltu", Isa.Ltu); ("leu", Isa.Leu);
+    ("gtu", Isa.Gtu); ("geu", Isa.Geu);
+  ]
+
+let prefixed prefix s =
+  let np = String.length prefix in
+  if String.length s > np && String.sub s 0 np = prefix then
+    Some (String.sub s np (String.length s - np))
+  else None
+
+let assemble source =
+  let lines = String.split_on_char '\n' source in
+  let section = ref Text in
+  let instrs : pending_instr list ref = ref [] in
+  let instr_count = ref 0 in
+  let data_buf = Buffer.create 256 in
+  let code_labels : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let data_labels : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let entry_label = ref None in
+  let define_label lineno name =
+    if Hashtbl.mem code_labels name || Hashtbl.mem data_labels name then
+      fail lineno "duplicate label %S" name;
+    match !section with
+    | Text -> Hashtbl.add code_labels name (!instr_count * Isa.instr_size)
+    | Data -> Hashtbl.add data_labels name (Buffer.length data_buf)
+  in
+  let emit lineno build =
+    if !section <> Text then fail lineno "instruction outside .text";
+    instrs := { lineno; build } :: !instrs;
+    incr instr_count
+  in
+  let plain instr = fun ~resolve:_ -> Image.{ instr; relocate = false } in
+  let process_instr lineno mnemonic args =
+    let reg i = parse_reg lineno (List.nth args i) in
+    let nargs = List.length args in
+    let need n = if nargs <> n then fail lineno "%s expects %d operands" mnemonic n in
+    let operand i =
+      match parse_operand lineno (List.nth args i) with
+      | Oreg r -> `Plain (Isa.Reg r)
+      | Oimm v -> `Plain (Isa.Imm (Word.of_signed v))
+      | Olabel _ -> fail lineno "label operand not allowed here (use la)"
+    in
+    let label_target i k =
+      let name = List.nth args i in
+      emit lineno (fun ~resolve -> Image.{ instr = k (resolve name); relocate = true })
+    in
+    match mnemonic with
+    | "nop" -> need 0; emit lineno (plain Isa.Nop)
+    | "halt" -> need 0; emit lineno (plain Isa.Halt)
+    | "ret" -> need 0; emit lineno (plain Isa.Ret)
+    | "syscall" -> need 0; emit lineno (plain Isa.Syscall)
+    | "push" -> need 1; emit lineno (plain (Isa.Push (reg 0)))
+    | "pop" -> need 1; emit lineno (plain (Isa.Pop (reg 0)))
+    | "jmpr" -> need 1; emit lineno (plain (Isa.Jmpr (reg 0)))
+    | "callr" -> need 1; emit lineno (plain (Isa.Callr (reg 0)))
+    | "jmp" -> need 1; label_target 0 (fun a -> Isa.Jmp a)
+    | "call" -> need 1; label_target 0 (fun a -> Isa.Call a)
+    | "mov" ->
+      need 2;
+      let rd = reg 0 in
+      let (`Plain o) = operand 1 in
+      emit lineno (plain (Isa.Mov (rd, o)))
+    | "la" ->
+      need 2;
+      let rd = reg 0 in
+      let name = List.nth args 1 in
+      emit lineno (fun ~resolve ->
+          Image.{ instr = Isa.Mov (rd, Isa.Imm (resolve name)); relocate = true })
+    | "ld" | "ldb" ->
+      need 2;
+      let rd = reg 0 in
+      let rs, off = parse_mem lineno (List.nth args 1) in
+      let instr =
+        if mnemonic = "ld" then Isa.Load (rd, rs, off) else Isa.Loadb (rd, rs, off)
+      in
+      emit lineno (plain instr)
+    | "st" | "stb" ->
+      need 2;
+      let rd, off = parse_mem lineno (List.nth args 0) in
+      let rs = reg 1 in
+      let instr =
+        if mnemonic = "st" then Isa.Store (rd, off, rs) else Isa.Storeb (rd, off, rs)
+      in
+      emit lineno (plain instr)
+    | _ -> (
+      match List.assoc_opt mnemonic binops with
+      | Some op ->
+        need 3;
+        let rd = reg 0 and rs = reg 1 in
+        let (`Plain o) = operand 2 in
+        emit lineno (plain (Isa.Binop (op, rd, rs, o)))
+      | None -> (
+        match prefixed "set" mnemonic with
+        | Some cc when List.mem_assoc cc conds ->
+          need 3;
+          let c = List.assoc cc conds in
+          let rd = reg 0 and rs = reg 1 in
+          let (`Plain o) = operand 2 in
+          emit lineno (plain (Isa.Setcc (c, rd, rs, o)))
+        | Some cc -> fail lineno "unknown condition %S" cc
+        | None -> (
+          match prefixed "br" mnemonic with
+          | Some cc when List.mem_assoc cc conds ->
+            need 3;
+            let c = List.assoc cc conds in
+            let rs = reg 0 and rt = reg 1 in
+            let name = List.nth args 2 in
+            emit lineno (fun ~resolve ->
+                Image.{ instr = Isa.Br (c, rs, rt, resolve name); relocate = true })
+          | Some cc -> fail lineno "unknown condition %S" cc
+          | None -> fail lineno "unknown mnemonic %S" mnemonic)))
+  in
+  let process_data lineno directive args =
+    if !section <> Data then fail lineno "data directive outside .data";
+    match directive with
+    | ".word" ->
+      List.iter
+        (fun a ->
+          let w = Word.of_signed (parse_int lineno a) in
+          for i = 0 to 3 do
+            Buffer.add_char data_buf (Char.chr (Word.byte w i))
+          done)
+        args
+    | ".byte" ->
+      List.iter
+        (fun a -> Buffer.add_char data_buf (Char.chr (parse_int lineno a land 0xFF)))
+        args
+    | ".space" -> (
+      match args with
+      | [ n ] ->
+        let n = parse_int lineno n in
+        if n < 0 then fail lineno ".space expects a non-negative size";
+        Buffer.add_string data_buf (String.make n '\000')
+      | _ -> fail lineno ".space expects one operand")
+    | ".asciz" -> (
+      match args with
+      | [ s ] when String.length s > 0 && s.[0] = '"' ->
+        Buffer.add_string data_buf (String.sub s 1 (String.length s - 1));
+        Buffer.add_char data_buf '\000'
+      | _ -> fail lineno ".asciz expects one string literal")
+    | _ -> fail lineno "unknown data directive %S" directive
+  in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = strip_comment raw in
+      let tokens = tokenize lineno line in
+      (* Peel off any leading labels. *)
+      let rec peel tokens =
+        match tokens with
+        | t :: rest when String.length t > 1 && t.[String.length t - 1] = ':' ->
+          define_label lineno (String.sub t 0 (String.length t - 1));
+          peel rest
+        | _ -> tokens
+      in
+      match peel tokens with
+      | [] -> ()
+      | ".text" :: _ -> section := Text
+      | ".data" :: _ -> section := Data
+      | ".entry" :: [ name ] -> entry_label := Some (lineno, name)
+      | ".entry" :: _ -> fail lineno ".entry expects one label"
+      | directive :: args when String.length directive > 0 && directive.[0] = '.' ->
+        process_data lineno directive args
+      | mnemonic :: args -> process_instr lineno mnemonic args)
+    lines;
+  let instrs = Array.of_list (List.rev !instrs) in
+  let code_bytes = Array.length instrs * Isa.instr_size in
+  let data_off = (code_bytes + 15) land lnot 15 in
+  let resolve_from lineno name =
+    match Hashtbl.find_opt code_labels name with
+    | Some off -> off
+    | None -> (
+      match Hashtbl.find_opt data_labels name with
+      | Some off -> data_off + off
+      | None -> fail lineno "undefined label %S" name)
+  in
+  let code =
+    Array.map
+      (fun { lineno; build } -> build ~resolve:(resolve_from lineno))
+      instrs
+  in
+  let entry_offset =
+    match !entry_label with
+    | None -> 0
+    | Some (lineno, name) -> (
+      match Hashtbl.find_opt code_labels name with
+      | Some off -> off
+      | None -> fail lineno "entry label %S is not a code label" name)
+  in
+  let symbols =
+    Hashtbl.fold (fun name off acc -> (name, off) :: acc) code_labels []
+    @ Hashtbl.fold (fun name off acc -> (name, data_off + off) :: acc) data_labels []
+  in
+  Image.
+    {
+      code;
+      data = Bytes.of_string (Buffer.contents data_buf);
+      bss_size = 0;
+      entry_offset;
+      symbols;
+    }

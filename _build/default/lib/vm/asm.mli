@@ -1,0 +1,43 @@
+(** A small two-pass textual assembler.
+
+    Used by tests, examples, and attack payload construction to build
+    {!Image.t} values without going through the mini-C compiler.
+
+    Syntax (one statement per line; [;] starts a comment):
+
+    {v
+    .text                     ; switch to code section (default)
+    .data                     ; switch to data section
+    .entry main               ; entry label (default: first instruction)
+    main:                     ; label (code or data, per section)
+      mov r1, #42             ; immediate move (also: mov r1, r2)
+      la r1, greeting         ; load address of a label (relocated)
+      ld r1, [r2+4]           ; word load / st, ldb, stb likewise
+      add r1, r2, #1          ; add sub mul div mod and or xor shl shr sar
+      seteq r1, r2, r3        ; set<cc>, cc in eq ne lt le gt ge ltu leu gtu geu
+      breq r1, r2, main       ; br<cc> rs, rt, label
+      jmp main
+      call main
+      jmpr r1
+      callr r1
+      push r1
+      pop r1
+      ret
+      syscall
+      halt
+      nop
+    .data
+    greeting: .asciz "hello"  ; NUL-terminated string
+    table: .word 1 2 3        ; 32-bit words
+    buf: .space 64            ; zeroed bytes
+    bytes: .byte 1 2 255      ; raw bytes
+    v}
+
+    Numbers may be decimal (optionally negative) or [0x]-prefixed hex. *)
+
+exception Error of { line : int; message : string }
+
+val assemble : string -> Image.t
+(** Assemble a full program source. Raises {!Error} on any syntactic or
+    semantic problem (unknown mnemonic, undefined or duplicate label,
+    register out of range...). *)

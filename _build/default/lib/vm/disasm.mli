@@ -1,0 +1,11 @@
+(** Disassembly of encoded code regions, for debugging and for the
+    examples' trace output. *)
+
+val instruction : Memory.t -> addr:int -> (int * Isa.t, string) result
+(** Decode the instruction at [addr]; returns [(tag, instruction)] or a
+    human-readable error. *)
+
+val region : Memory.t -> start:int -> count:int -> string
+(** Render [count] instructions starting at [start], one per line, each
+    prefixed with its absolute address and tag. Undecodable slots are
+    rendered as [??]. *)

@@ -1,0 +1,299 @@
+type reg = int
+
+type operand = Reg of reg | Imm of Word.t
+
+type binop = Add | Sub | Mul | Div | Mod | And | Or | Xor | Shl | Shr | Sar
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge | Ltu | Leu | Gtu | Geu
+
+type t =
+  | Nop
+  | Halt
+  | Mov of reg * operand
+  | Load of reg * reg * int
+  | Store of reg * int * reg
+  | Loadb of reg * reg * int
+  | Storeb of reg * int * reg
+  | Binop of binop * reg * reg * operand
+  | Setcc of cond * reg * reg * operand
+  | Br of cond * reg * reg * Word.t
+  | Jmp of Word.t
+  | Jmpr of reg
+  | Call of Word.t
+  | Callr of reg
+  | Ret
+  | Push of reg
+  | Pop of reg
+  | Syscall
+
+let instr_size = 8
+
+let eval_cond cond a b =
+  match cond with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> Word.lt_signed a b
+  | Le -> not (Word.lt_signed b a)
+  | Gt -> Word.lt_signed b a
+  | Ge -> not (Word.lt_signed a b)
+  | Ltu -> Word.lt_unsigned a b
+  | Leu -> not (Word.lt_unsigned b a)
+  | Gtu -> Word.lt_unsigned b a
+  | Geu -> not (Word.lt_unsigned a b)
+
+let eval_binop op a b =
+  match op with
+  | Add -> Word.add a b
+  | Sub -> Word.sub a b
+  | Mul -> Word.mul a b
+  | Div -> Word.div_signed a b
+  | Mod -> Word.rem_signed a b
+  | And -> Word.logand a b
+  | Or -> Word.logor a b
+  | Xor -> Word.logxor a b
+  | Shl -> Word.shift_left a b
+  | Shr -> Word.shift_right_logical a b
+  | Sar -> Word.shift_right_arith a b
+
+(* ------------------------------------------------------------------ *)
+(* Binary encoding                                                     *)
+(*                                                                     *)
+(* byte 0: tag                                                         *)
+(* byte 1: opcode                                                      *)
+(* byte 2: (ra lsl 4) lor rb        -- two register fields             *)
+(* byte 3: bit 7 = operand-is-immediate; bits 0-4 = binop/cond code    *)
+(* bytes 4-7: 32-bit immediate, little-endian (or register index when  *)
+(*            the operand flag is clear)                               *)
+(* ------------------------------------------------------------------ *)
+
+let op_nop = 0
+let op_halt = 1
+let op_mov = 2
+let op_load = 3
+let op_store = 4
+let op_loadb = 5
+let op_storeb = 6
+let op_binop = 7
+let op_setcc = 8
+let op_br = 9
+let op_jmp = 10
+let op_jmpr = 11
+let op_call = 12
+let op_callr = 13
+let op_ret = 14
+let op_push = 15
+let op_pop = 16
+let op_syscall = 17
+
+let binop_code = function
+  | Add -> 0 | Sub -> 1 | Mul -> 2 | Div -> 3 | Mod -> 4 | And -> 5
+  | Or -> 6 | Xor -> 7 | Shl -> 8 | Shr -> 9 | Sar -> 10
+
+let binop_of_code = function
+  | 0 -> Some Add | 1 -> Some Sub | 2 -> Some Mul | 3 -> Some Div
+  | 4 -> Some Mod | 5 -> Some And | 6 -> Some Or | 7 -> Some Xor
+  | 8 -> Some Shl | 9 -> Some Shr | 10 -> Some Sar | _ -> None
+
+let cond_code = function
+  | Eq -> 0 | Ne -> 1 | Lt -> 2 | Le -> 3 | Gt -> 4 | Ge -> 5
+  | Ltu -> 6 | Leu -> 7 | Gtu -> 8 | Geu -> 9
+
+let cond_of_code = function
+  | 0 -> Some Eq | 1 -> Some Ne | 2 -> Some Lt | 3 -> Some Le
+  | 4 -> Some Gt | 5 -> Some Ge | 6 -> Some Ltu | 7 -> Some Leu
+  | 8 -> Some Gtu | 9 -> Some Geu | _ -> None
+
+let imm_flag = 0x80
+
+let check_reg r = if r < 0 || r > 15 then invalid_arg "Isa.encode: register out of range"
+
+let check_tag tag = if tag < 0 || tag > 255 then invalid_arg "Isa.encode: tag out of range"
+
+type decode_error = Bad_opcode of int | Bad_selector of int | Bad_register of int
+
+let encode ~tag instr =
+  check_tag tag;
+  let b = Bytes.make instr_size '\000' in
+  let set i v = Bytes.set b i (Char.chr (v land 0xFF)) in
+  let set_imm w =
+    let w = Word.mask w in
+    set 4 (Word.byte w 0);
+    set 5 (Word.byte w 1);
+    set 6 (Word.byte w 2);
+    set 7 (Word.byte w 3)
+  in
+  let set_regs ra rb =
+    check_reg ra;
+    check_reg rb;
+    set 2 ((ra lsl 4) lor rb)
+  in
+  let set_operand = function
+    | Reg r ->
+      check_reg r;
+      set_imm r
+    | Imm w ->
+      set 3 (Char.code (Bytes.get b 3) lor imm_flag);
+      set_imm w
+  in
+  set 0 tag;
+  (match instr with
+  | Nop -> set 1 op_nop
+  | Halt -> set 1 op_halt
+  | Mov (rd, operand) ->
+    set 1 op_mov;
+    set_regs rd 0;
+    set_operand operand
+  | Load (rd, rs, off) ->
+    set 1 op_load;
+    set_regs rd rs;
+    set_imm (Word.of_signed off)
+  | Store (rd, off, rs) ->
+    set 1 op_store;
+    set_regs rd rs;
+    set_imm (Word.of_signed off)
+  | Loadb (rd, rs, off) ->
+    set 1 op_loadb;
+    set_regs rd rs;
+    set_imm (Word.of_signed off)
+  | Storeb (rd, off, rs) ->
+    set 1 op_storeb;
+    set_regs rd rs;
+    set_imm (Word.of_signed off)
+  | Binop (op, rd, rs, operand) ->
+    set 1 op_binop;
+    set_regs rd rs;
+    set 3 (binop_code op);
+    set_operand operand
+  | Setcc (cond, rd, rs, operand) ->
+    set 1 op_setcc;
+    set_regs rd rs;
+    set 3 (cond_code cond);
+    set_operand operand
+  | Br (cond, rs, rt, target) ->
+    set 1 op_br;
+    set_regs rs rt;
+    set 3 (cond_code cond);
+    set_imm target
+  | Jmp target ->
+    set 1 op_jmp;
+    set_imm target
+  | Jmpr rs ->
+    set 1 op_jmpr;
+    set_regs rs 0
+  | Call target ->
+    set 1 op_call;
+    set_imm target
+  | Callr rs ->
+    set 1 op_callr;
+    set_regs rs 0
+  | Ret -> set 1 op_ret
+  | Push rs ->
+    set 1 op_push;
+    set_regs rs 0
+  | Pop rd ->
+    set 1 op_pop;
+    set_regs rd 0
+  | Syscall -> set 1 op_syscall);
+  b
+
+let decode b =
+  if Bytes.length b <> instr_size then invalid_arg "Isa.decode: wrong buffer size";
+  let get i = Char.code (Bytes.get b i) in
+  let tag = get 0 in
+  let opcode = get 1 in
+  let ra = get 2 lsr 4 in
+  let rb = get 2 land 0xF in
+  let sel = get 3 in
+  let imm = get 4 lor (get 5 lsl 8) lor (get 6 lsl 16) lor (get 7 lsl 24) in
+  let simm = Word.to_signed imm in
+  let operand () =
+    if sel land imm_flag <> 0 then Ok (Imm imm)
+    else if imm > 15 then Error (Bad_register imm)
+    else Ok (Reg imm)
+  in
+  let with_operand k =
+    match operand () with Ok o -> Ok (tag, k o) | Error e -> Error e
+  in
+  let with_binop k =
+    match binop_of_code (sel land 0x1F) with
+    | None -> Error (Bad_selector sel)
+    | Some op -> (
+      match operand () with Ok o -> Ok (tag, k op o) | Error e -> Error e)
+  in
+  let with_cond_operand k =
+    match cond_of_code (sel land 0x1F) with
+    | None -> Error (Bad_selector sel)
+    | Some c -> (
+      match operand () with Ok o -> Ok (tag, k c o) | Error e -> Error e)
+  in
+  match opcode with
+  | o when o = op_nop -> Ok (tag, Nop)
+  | o when o = op_halt -> Ok (tag, Halt)
+  | o when o = op_mov -> with_operand (fun operand -> Mov (ra, operand))
+  | o when o = op_load -> Ok (tag, Load (ra, rb, simm))
+  | o when o = op_store -> Ok (tag, Store (ra, simm, rb))
+  | o when o = op_loadb -> Ok (tag, Loadb (ra, rb, simm))
+  | o when o = op_storeb -> Ok (tag, Storeb (ra, simm, rb))
+  | o when o = op_binop -> with_binop (fun op operand -> Binop (op, ra, rb, operand))
+  | o when o = op_setcc -> with_cond_operand (fun c operand -> Setcc (c, ra, rb, operand))
+  | o when o = op_br -> (
+    match cond_of_code (sel land 0x1F) with
+    | None -> Error (Bad_selector sel)
+    | Some c -> Ok (tag, Br (c, ra, rb, imm)))
+  | o when o = op_jmp -> Ok (tag, Jmp imm)
+  | o when o = op_jmpr -> Ok (tag, Jmpr ra)
+  | o when o = op_call -> Ok (tag, Call imm)
+  | o when o = op_callr -> Ok (tag, Callr ra)
+  | o when o = op_ret -> Ok (tag, Ret)
+  | o when o = op_push -> Ok (tag, Push ra)
+  | o when o = op_pop -> Ok (tag, Pop ra)
+  | o when o = op_syscall -> Ok (tag, Syscall)
+  | o -> Error (Bad_opcode o)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pp_binop ppf op =
+  let s =
+    match op with
+    | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Mod -> "mod"
+    | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+    | Sar -> "sar"
+  in
+  Format.pp_print_string ppf s
+
+let pp_cond ppf c =
+  let s =
+    match c with
+    | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+    | Ltu -> "ltu" | Leu -> "leu" | Gtu -> "gtu" | Geu -> "geu"
+  in
+  Format.pp_print_string ppf s
+
+let pp_operand ppf = function
+  | Reg r -> Format.fprintf ppf "r%d" r
+  | Imm w -> Format.fprintf ppf "#%a" Word.pp w
+
+let pp ppf = function
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Halt -> Format.pp_print_string ppf "halt"
+  | Mov (rd, o) -> Format.fprintf ppf "mov r%d, %a" rd pp_operand o
+  | Load (rd, rs, off) -> Format.fprintf ppf "ld r%d, [r%d%+d]" rd rs off
+  | Store (rd, off, rs) -> Format.fprintf ppf "st [r%d%+d], r%d" rd off rs
+  | Loadb (rd, rs, off) -> Format.fprintf ppf "ldb r%d, [r%d%+d]" rd rs off
+  | Storeb (rd, off, rs) -> Format.fprintf ppf "stb [r%d%+d], r%d" rd off rs
+  | Binop (op, rd, rs, o) ->
+    Format.fprintf ppf "%a r%d, r%d, %a" pp_binop op rd rs pp_operand o
+  | Setcc (c, rd, rs, o) ->
+    Format.fprintf ppf "set%a r%d, r%d, %a" pp_cond c rd rs pp_operand o
+  | Br (c, rs, rt, target) ->
+    Format.fprintf ppf "br%a r%d, r%d, %a" pp_cond c rs rt Word.pp target
+  | Jmp target -> Format.fprintf ppf "jmp %a" Word.pp target
+  | Jmpr rs -> Format.fprintf ppf "jmpr r%d" rs
+  | Call target -> Format.fprintf ppf "call %a" Word.pp target
+  | Callr rs -> Format.fprintf ppf "callr r%d" rs
+  | Ret -> Format.pp_print_string ppf "ret"
+  | Push rs -> Format.fprintf ppf "push r%d" rs
+  | Pop rd -> Format.fprintf ppf "pop r%d" rd
+  | Syscall -> Format.pp_print_string ppf "syscall"

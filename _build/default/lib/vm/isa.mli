@@ -1,0 +1,76 @@
+(** Instruction set of the guest machine.
+
+    Instructions occupy a fixed {!instr_size} bytes. Byte 0 of every
+    encoded instruction is its {e tag}: the instruction-set-tagging
+    variation (Table 1 of the paper, row 3) gives each variant a
+    distinct tag value, and the CPU faults when a fetched instruction's
+    tag differs from the tag it was configured to expect. Untagged
+    programs use tag 0.
+
+    Register conventions (by convention only, not enforced):
+    [r12] frame pointer, [r13] stack pointer, [r15] assembler/compiler
+    scratch. Syscall ABI: number in [r0], arguments in [r1]..[r5],
+    result replaces [r0]. *)
+
+type reg = int
+(** Register index in [\[0, 15\]]. *)
+
+type operand =
+  | Reg of reg
+  | Imm of Word.t  (** 32-bit immediate *)
+
+type binop = Add | Sub | Mul | Div | Mod | And | Or | Xor | Shl | Shr | Sar
+
+type cond =
+  | Eq | Ne
+  | Lt | Le | Gt | Ge  (** signed *)
+  | Ltu | Leu | Gtu | Geu  (** unsigned *)
+
+type t =
+  | Nop
+  | Halt
+  | Mov of reg * operand  (** [rd <- operand] *)
+  | Load of reg * reg * int  (** [rd <- mem32\[rs + simm\]] *)
+  | Store of reg * int * reg  (** [mem32\[rd + simm\] <- rs] *)
+  | Loadb of reg * reg * int  (** byte load, zero-extended *)
+  | Storeb of reg * int * reg  (** byte store, low 8 bits *)
+  | Binop of binop * reg * reg * operand  (** [rd <- rs op operand] *)
+  | Setcc of cond * reg * reg * operand  (** [rd <- rs cond operand ? 1 : 0] *)
+  | Br of cond * reg * reg * Word.t  (** [if rs cond rt then pc <- target] *)
+  | Jmp of Word.t
+  | Jmpr of reg  (** indirect jump — the code-pointer attack surface *)
+  | Call of Word.t  (** push return address; jump *)
+  | Callr of reg
+  | Ret  (** pop return address into pc *)
+  | Push of reg
+  | Pop of reg
+  | Syscall
+
+val instr_size : int
+(** 8 bytes. *)
+
+val eval_cond : cond -> Word.t -> Word.t -> bool
+(** Evaluate a comparison on two words. *)
+
+val eval_binop : binop -> Word.t -> Word.t -> Word.t
+(** Evaluate an ALU operation. Raises [Division_by_zero] for
+    [Div]/[Mod] with a zero divisor. *)
+
+type decode_error =
+  | Bad_opcode of int
+  | Bad_selector of int
+  | Bad_register of int
+
+val encode : tag:int -> t -> Bytes.t
+(** Encode to [instr_size] bytes. Raises [Invalid_argument] when a
+    register index, the tag, or an immediate is out of range. *)
+
+val decode : Bytes.t -> (int * t, decode_error) result
+(** [decode b] reads one instruction from an [instr_size]-byte buffer
+    and returns [(tag, instruction)]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Assembly-like rendering, e.g. [add r1, r2, #4]. *)
+
+val pp_cond : Format.formatter -> cond -> unit
+val pp_binop : Format.formatter -> binop -> unit

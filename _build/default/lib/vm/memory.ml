@@ -1,0 +1,78 @@
+type access = Read | Write | Execute
+
+exception Fault of { addr : int; access : access }
+
+type t = { base : int; size : int; data : Bytes.t }
+
+let create ~base ~size =
+  if base < 0 || size < 0 || base + size > 0x1_0000_0000 then
+    invalid_arg "Memory.create: segment outside the 32-bit address space";
+  { base; size; data = Bytes.make size '\000' }
+
+let base t = t.base
+
+let size t = t.size
+
+let in_range t addr = addr >= t.base && addr < t.base + t.size
+
+let check t addr access = if not (in_range t addr) then raise (Fault { addr; access })
+
+let to_offset t addr =
+  check t addr Read;
+  addr - t.base
+
+let load_byte t addr =
+  check t addr Read;
+  Char.code (Bytes.get t.data (addr - t.base))
+
+let store_byte t addr b =
+  check t addr Write;
+  Bytes.set t.data (addr - t.base) (Char.chr (b land 0xFF))
+
+let exec_byte t addr =
+  check t addr Execute;
+  Char.code (Bytes.get t.data (addr - t.base))
+
+let load_word t addr =
+  let b0 = load_byte t addr in
+  let b1 = load_byte t (addr + 1) in
+  let b2 = load_byte t (addr + 2) in
+  let b3 = load_byte t (addr + 3) in
+  b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+
+let store_word t addr w =
+  store_byte t addr (Word.byte w 0);
+  store_byte t (addr + 1) (Word.byte w 1);
+  store_byte t (addr + 2) (Word.byte w 2);
+  store_byte t (addr + 3) (Word.byte w 3)
+
+let load_bytes t ~addr ~len =
+  if len < 0 then invalid_arg "Memory.load_bytes: negative length";
+  check t addr Read;
+  if len > 0 then check t (addr + len - 1) Read;
+  Bytes.sub t.data (addr - t.base) len
+
+let store_bytes t ~addr data =
+  let len = Bytes.length data in
+  check t addr Write;
+  if len > 0 then check t (addr + len - 1) Write;
+  Bytes.blit data 0 t.data (addr - t.base) len
+
+let load_cstring t ~addr ~max_len =
+  let buf = Buffer.create 32 in
+  let rec scan i =
+    if i >= max_len then ()
+    else begin
+      let b = load_byte t (addr + i) in
+      if b <> 0 then begin
+        Buffer.add_char buf (Char.chr b);
+        scan (i + 1)
+      end
+    end
+  in
+  scan 0;
+  Buffer.contents buf
+
+let store_cstring t ~addr s =
+  String.iteri (fun i c -> store_byte t (addr + i) (Char.code c)) s;
+  store_byte t (addr + String.length s) 0

@@ -1,0 +1,54 @@
+(** Byte-addressable segmented guest memory.
+
+    A segment maps the absolute address range [\[base, base + size)] to a
+    backing byte array. Any access outside the segment raises
+    {!Fault}; this is how address-space partitioning turns an injected
+    absolute address into a detectable failure: an address that is
+    mapped in variant 0's segment is unmapped in variant 1's.
+
+    Words are stored little-endian. *)
+
+type t
+
+type access = Read | Write | Execute
+
+exception Fault of { addr : int; access : access }
+(** Raised on any access outside [\[base, base+size)]. *)
+
+val create : base:int -> size:int -> t
+(** Fresh zeroed segment. [base] and [size] must be non-negative and
+    [base + size <= 2^32], otherwise [Invalid_argument]. *)
+
+val base : t -> int
+val size : t -> int
+
+val in_range : t -> int -> bool
+(** Whether an absolute address falls inside the segment. *)
+
+val to_offset : t -> int -> int
+(** Canonicalize an absolute address to a segment-relative offset (the
+    paper's canonicalization function for address partitioning). Raises
+    [Fault] if out of range. *)
+
+val load_byte : t -> int -> int
+val store_byte : t -> int -> int -> unit
+
+val load_word : t -> int -> Word.t
+(** Little-endian 32-bit load; all four bytes must be in range. *)
+
+val store_word : t -> int -> Word.t -> unit
+
+val load_bytes : t -> addr:int -> len:int -> bytes
+val store_bytes : t -> addr:int -> bytes -> unit
+
+val load_cstring : t -> addr:int -> max_len:int -> string
+(** Read a NUL-terminated string starting at [addr]; stops at NUL or
+    after [max_len] bytes (whichever comes first; the NUL is not
+    included). Faults if it runs off the segment before terminating. *)
+
+val store_cstring : t -> addr:int -> string -> unit
+(** Write the string followed by a NUL byte. *)
+
+val exec_byte : t -> int -> int
+(** Like {!load_byte} but faults carry [Execute] access, used by the
+    CPU's fetch path so traces distinguish fetch faults. *)

@@ -1,0 +1,1 @@
+lib/workload/cost_model.ml:

@@ -1,0 +1,1 @@
+lib/workload/measure.ml: Array Format List Nv_core Nv_httpd Nv_util Printf String

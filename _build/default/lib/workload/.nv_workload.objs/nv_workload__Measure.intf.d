@@ -1,0 +1,1 @@
+lib/workload/measure.mli: Format Nv_core

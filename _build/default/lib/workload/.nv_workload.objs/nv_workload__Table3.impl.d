@@ -1,0 +1,1 @@
+lib/workload/table3.ml: Array Cost_model List Measure Nv_core Nv_httpd Nv_util Printf Webbench

@@ -1,0 +1,1 @@
+lib/workload/table3.mli: Cost_model Measure Nv_httpd Webbench

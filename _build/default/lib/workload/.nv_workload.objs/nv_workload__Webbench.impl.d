@@ -1,0 +1,1 @@
+lib/workload/webbench.ml: Array Cost_model Format Measure Nv_sim Nv_util

@@ -1,0 +1,1 @@
+lib/workload/webbench.mli: Cost_model Format Measure

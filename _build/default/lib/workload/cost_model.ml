@@ -1,0 +1,31 @@
+type t = {
+  ns_per_instruction : float;
+  syscall_ns : float;
+  check_ns_per_variant : float;
+  rtt_s : float;
+  bandwidth_bytes_per_s : float;
+}
+
+(* Calibrated so that Configuration 1 unsaturated sits near the
+   paper's operating point (~1 MB/s, ~6 ms); see EXPERIMENTS.md. *)
+let default =
+  {
+    ns_per_instruction = 60.0;
+    syscall_ns = 9000.0;
+    check_ns_per_variant = 2500.0;
+    rtt_s = 0.004;
+    bandwidth_bytes_per_s = 11.0e6;
+  }
+
+let cpu_seconds t ~instructions ~rendezvous ~variants =
+  let instr = float_of_int instructions *. t.ns_per_instruction in
+  (* The framework's syscall wrappers run once per variant (each
+     variant enters the kernel and is parked at the rendezvous), so
+     kernel-entry cost scales with the variant count. *)
+  let syscalls = float_of_int (rendezvous * variants) *. t.syscall_ns in
+  let checks =
+    float_of_int rendezvous *. t.check_ns_per_variant *. float_of_int (max 0 (variants - 1))
+  in
+  (instr +. syscalls +. checks) *. 1e-9
+
+let wire_seconds t ~bytes = float_of_int bytes /. t.bandwidth_bytes_per_s

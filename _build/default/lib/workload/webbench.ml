@@ -1,0 +1,88 @@
+module Engine = Nv_sim.Engine
+module Resource = Nv_sim.Resource
+
+type load = { clients : int; duration_s : float }
+
+let unsaturated = { clients = 1; duration_s = 30.0 }
+
+let saturated = { clients = 15; duration_s = 30.0 }
+
+type result = {
+  requests_completed : int;
+  throughput_kb_s : float;
+  latency_ms : float;
+  latency_p99_ms : float;
+  cpu_utilization : float;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf "%d reqs, %.0f KB/s, %.2f ms mean (%.2f ms p99), cpu %.0f%%"
+    r.requests_completed r.throughput_kb_s r.latency_ms r.latency_p99_ms
+    (100.0 *. r.cpu_utilization)
+
+let run ?(seed = 11) ?(cost = Cost_model.default) ~variants ~samples load =
+  if Array.length samples = 0 then invalid_arg "Webbench.run: no samples";
+  if load.clients < 1 then invalid_arg "Webbench.run: need at least one client";
+  let engine = Engine.create () in
+  let cpu = Resource.create engine ~name:"cpu" ~capacity:1 in
+  let nic = Resource.create engine ~name:"nic" ~capacity:1 in
+  let prng = Nv_util.Prng.create ~seed in
+  let latencies = ref [] in
+  let completed = ref 0 in
+  let bytes_out = ref 0 in
+  let next_sample =
+    let cursor = ref (Nv_util.Prng.int prng (Array.length samples)) in
+    fun () ->
+      let s = samples.(!cursor mod Array.length samples) in
+      incr cursor;
+      s
+  in
+  let rec client_loop () =
+    if Engine.now engine < load.duration_s then begin
+      let sample = next_sample () in
+      let started = Engine.now engine in
+      (* Request travels to the server. *)
+      Engine.schedule_after engine ~delay:(cost.Cost_model.rtt_s /. 2.0) (fun () ->
+          let demand =
+            Cost_model.cpu_seconds cost ~instructions:sample.Measure.instructions
+              ~rendezvous:sample.Measure.rendezvous ~variants
+          in
+          Resource.serve cpu ~duration:demand (fun () ->
+              let wire =
+                Cost_model.wire_seconds cost ~bytes:sample.Measure.response_bytes
+              in
+              Resource.serve nic ~duration:wire (fun () ->
+                  Engine.schedule_after engine ~delay:(cost.Cost_model.rtt_s /. 2.0)
+                    (fun () ->
+                      (* Only count requests completing inside the
+                         window, then loop. *)
+                      if Engine.now engine <= load.duration_s then begin
+                        incr completed;
+                        bytes_out := !bytes_out + sample.Measure.response_bytes;
+                        latencies := (Engine.now engine -. started) :: !latencies
+                      end;
+                      client_loop ()))))
+    end
+  in
+  for _ = 1 to load.clients do
+    (* Slightly stagger client start-up, as real engines do. *)
+    Engine.schedule_after engine
+      ~delay:(Nv_util.Prng.float prng 0.002)
+      client_loop
+  done;
+  Engine.run ~until:load.duration_s engine;
+  let latencies = Array.of_list !latencies in
+  let latency_ms =
+    if Array.length latencies = 0 then 0.0 else 1000.0 *. Nv_util.Stats.mean latencies
+  in
+  let latency_p99_ms =
+    if Array.length latencies = 0 then 0.0
+    else 1000.0 *. Nv_util.Stats.percentile latencies 99.0
+  in
+  {
+    requests_completed = !completed;
+    throughput_kb_s = float_of_int !bytes_out /. 1024.0 /. load.duration_s;
+    latency_ms;
+    latency_p99_ms;
+    cpu_utilization = Resource.utilization cpu;
+  }

@@ -1,0 +1,177 @@
+(* Tests for nv_attacks: payload geometry and the full attack-by-
+   configuration verdict matrix (experiment X2). Each expectation below
+   is one cell of the paper's detection-claims story. *)
+
+open Nv_attacks
+module Deploy = Nv_httpd.Deploy
+
+(* ------------------------------------------------------------------ *)
+(* Payload geometry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_null_overflow_length () =
+  Alcotest.(check int) "exactly buffer size" Nv_httpd.Httpd_source.url_buffer_size
+    (String.length (Payloads.null_overflow_url ()))
+
+let test_partial_overwrite_length () =
+  Alcotest.(check int) "one byte past" (Nv_httpd.Httpd_source.url_buffer_size + 1)
+    (String.length (Payloads.partial_overwrite_url ~low_byte:'Z'))
+
+let test_three_byte_length () =
+  Alcotest.(check int) "three bytes past" (Nv_httpd.Httpd_source.url_buffer_size + 3)
+    (String.length (Payloads.three_byte_overwrite_url ~low_bytes:"XYZ"))
+
+let test_three_byte_validation () =
+  Alcotest.(check bool) "wrong size rejected" true
+    (try
+       ignore (Payloads.three_byte_overwrite_url ~low_bytes:"XY");
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "NUL rejected" true
+    (try
+       ignore (Payloads.three_byte_overwrite_url ~low_bytes:"X\000Z");
+       false
+     with Invalid_argument _ -> true)
+
+let test_code_injection_request_shape () =
+  let sys = Result.get_ok (Deploy.build Deploy.Unmodified_single) in
+  (match Nv_core.Nsystem.run sys with
+  | Nv_core.Monitor.Blocked_on_accept -> ()
+  | _ -> Alcotest.fail "not parked");
+  let request = Payloads.code_injection_request sys ~tag:0 in
+  Alcotest.(check bool) "fits the request buffer" true (String.length request < 1024);
+  Alcotest.(check bool) "carries the target path" true
+    (let contains s sub =
+       let n = String.length sub in
+       let rec scan i = i + n <= String.length s && (String.sub s i n = sub || scan (i + 1)) in
+       scan 0
+     in
+     contains request "/secret/shadow")
+
+(* ------------------------------------------------------------------ *)
+(* Verdict matrix                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run name config =
+  let attack = Option.get (Campaign.find name) in
+  match Campaign.run_attack attack config with
+  | Ok verdict -> verdict
+  | Error e -> Alcotest.fail e
+
+let check_verdict name config expected_label =
+  let verdict = run name config in
+  Alcotest.(check string)
+    (Printf.sprintf "%s under %s" name (Deploy.name config))
+    expected_label
+    (Campaign.verdict_label verdict)
+
+let test_baseline_benign_everywhere () =
+  List.iter (fun c -> check_verdict "baseline-request" c "no effect") Deploy.all
+
+let test_null_overflow_matrix () =
+  (* Root escalation on every deployment except the UID variation. *)
+  check_verdict "uid-null-overflow" Deploy.Unmodified_single "ESCALATED";
+  check_verdict "uid-null-overflow" Deploy.Transformed_single "ESCALATED";
+  check_verdict "uid-null-overflow" Deploy.Two_variant_address "ESCALATED";
+  check_verdict "uid-null-overflow" Deploy.Two_variant_uid "DETECTED"
+
+let test_null_overflow_detected_at_uid_interface () =
+  (* Detection fires at the first UID-bearing rendezvous after the
+     corruption: the inserted cc_eq check, or seteuid itself. *)
+  match run "uid-null-overflow" Deploy.Two_variant_uid with
+  | Campaign.Detected (Nv_core.Alarm.Arg_mismatch { syscall; _ }) ->
+    let name = Nv_os.Syscall.name syscall in
+    Alcotest.(check bool)
+      (Printf.sprintf "at a UID interface (got %s)" name)
+      true
+      (name = "seteuid" || name = "cc_eq" || name = "uid_value")
+  | v -> Alcotest.failf "unexpected verdict %s" (Campaign.verdict_label v)
+
+let test_partial_byte_matrix () =
+  check_verdict "uid-partial-byte" Deploy.Unmodified_single "CORRUPTED";
+  check_verdict "uid-partial-byte" Deploy.Two_variant_address "CORRUPTED";
+  check_verdict "uid-partial-byte" Deploy.Two_variant_uid "DETECTED"
+
+let test_three_bytes_matrix () =
+  check_verdict "uid-three-bytes" Deploy.Unmodified_single "CORRUPTED";
+  check_verdict "uid-three-bytes" Deploy.Two_variant_uid "DETECTED"
+
+let test_bit_set_low_matrix () =
+  check_verdict "uid-bit-set-low" Deploy.Unmodified_single "CORRUPTED";
+  check_verdict "uid-bit-set-low" Deploy.Two_variant_uid "DETECTED"
+
+let test_bit_set_high_escape () =
+  (* The paper's admitted weakness: the XOR key leaves bit 31
+     unflipped, so a forced high bit decodes identically in both
+     variants and the corruption goes undetected even under the UID
+     variation. *)
+  check_verdict "uid-bit-set-high" Deploy.Two_variant_uid "CORRUPTED";
+  check_verdict "uid-bit-set-high" Deploy.Unmodified_single "CORRUPTED"
+
+let test_code_injection_matrix () =
+  check_verdict "stack-code-injection" Deploy.Unmodified_single "ESCALATED";
+  check_verdict "stack-code-injection" Deploy.Transformed_single "ESCALATED";
+  check_verdict "stack-code-injection" Deploy.Two_variant_address "DETECTED";
+  check_verdict "stack-code-injection" Deploy.Two_variant_uid "DETECTED"
+
+let test_code_injection_detected_by_fault () =
+  match run "stack-code-injection" Deploy.Two_variant_address with
+  | Campaign.Detected (Nv_core.Alarm.Variant_fault { variant = 1; _ }) -> ()
+  | v -> Alcotest.failf "expected variant-1 fault, got %s" (Campaign.verdict_label v)
+
+let test_escalation_leaks_shadow () =
+  match run "stack-code-injection" Deploy.Unmodified_single with
+  | Campaign.Escalated evidence ->
+    Alcotest.(check string) "marker" Payloads.shadow_marker evidence
+  | v -> Alcotest.failf "expected escalation, got %s" (Campaign.verdict_label v)
+
+let test_matrix_runner_and_rendering () =
+  let matrix =
+    Campaign.run_matrix
+      ~attacks:[ Option.get (Campaign.find "baseline-request") ]
+      ~configs:[ Deploy.Unmodified_single; Deploy.Two_variant_uid ]
+      ()
+  in
+  Alcotest.(check int) "one row" 1 (List.length matrix);
+  let rendered = Campaign.render_matrix matrix in
+  let contains s sub =
+    let n = String.length sub in
+    let rec scan i = i + n <= String.length s && (String.sub s i n = sub || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "has config columns" true (contains rendered "config4");
+  Alcotest.(check bool) "has verdicts" true (contains rendered "no effect")
+
+let test_find () =
+  Alcotest.(check bool) "known" true (Campaign.find "uid-null-overflow" <> None);
+  Alcotest.(check bool) "unknown" true (Campaign.find "nonexistent" = None);
+  Alcotest.(check int) "seven attacks" 7 (List.length Campaign.attacks)
+
+let () =
+  Alcotest.run "nv_attacks"
+    [
+      ( "payloads",
+        [
+          Alcotest.test_case "null overflow length" `Quick test_null_overflow_length;
+          Alcotest.test_case "partial length" `Quick test_partial_overwrite_length;
+          Alcotest.test_case "three-byte length" `Quick test_three_byte_length;
+          Alcotest.test_case "three-byte validation" `Quick test_three_byte_validation;
+          Alcotest.test_case "code injection shape" `Quick test_code_injection_request_shape;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "baseline benign" `Slow test_baseline_benign_everywhere;
+          Alcotest.test_case "null overflow" `Slow test_null_overflow_matrix;
+          Alcotest.test_case "null overflow at UID interface" `Quick
+            test_null_overflow_detected_at_uid_interface;
+          Alcotest.test_case "partial byte" `Slow test_partial_byte_matrix;
+          Alcotest.test_case "three bytes" `Quick test_three_bytes_matrix;
+          Alcotest.test_case "bit set low" `Quick test_bit_set_low_matrix;
+          Alcotest.test_case "bit set high escape" `Quick test_bit_set_high_escape;
+          Alcotest.test_case "code injection" `Slow test_code_injection_matrix;
+          Alcotest.test_case "code injection fault" `Quick test_code_injection_detected_by_fault;
+          Alcotest.test_case "escalation leaks shadow" `Quick test_escalation_leaks_shadow;
+          Alcotest.test_case "runner and rendering" `Quick test_matrix_runner_and_rendering;
+          Alcotest.test_case "find" `Quick test_find;
+        ] );
+    ]

@@ -1,0 +1,144 @@
+(* Tests for the authd case study: protocol behaviour, UID-array
+   reexpression, and the admin-list corruption attack (the sshd-shaped
+   scenario of Chen et al. that motivates the paper). *)
+
+module Variation = Nv_core.Variation
+module Monitor = Nv_core.Monitor
+module Nsystem = Nv_core.Nsystem
+module Alarm = Nv_core.Alarm
+module Authd = Nv_httpd.Authd_source
+
+let build variation =
+  match
+    Nv_transform.Uid_transform.transform_source ~variation Authd.source
+  with
+  | Ok (images, _) -> Nsystem.create ~variation images
+  | Error e -> Alcotest.fail e
+
+let build_plain variation =
+  Nsystem.of_one_image ~variation (Nv_minic.Codegen.compile_source Authd.source)
+
+let ask sys request =
+  match Nsystem.serve sys request with
+  | Nsystem.Served response -> `Response (String.trim response)
+  | Nsystem.Stopped (Monitor.Alarm reason) -> `Alarm reason
+  | Nsystem.Stopped outcome ->
+    Alcotest.failf "authd stopped: %s"
+      (match outcome with
+      | Monitor.Exited n -> Printf.sprintf "exit %d" n
+      | Monitor.Out_of_fuel -> "fuel"
+      | _ -> "?")
+
+let expect_response expected result =
+  match result with
+  | `Response got -> Alcotest.(check string) "response" expected got
+  | `Alarm reason -> Alcotest.failf "unexpected alarm: %a" Alarm.pp reason
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let protocol_checks sys =
+  expect_response "ADMIN" (ask sys (Authd.login "root"));
+  expect_response "ADMIN" (ask sys (Authd.login "www"));
+  expect_response "OK" (ask sys (Authd.login "alice"));
+  expect_response "OK" (ask sys (Authd.login "bob"));
+  expect_response "NOUSER" (ask sys (Authd.login "mallory"));
+  expect_response "BAD" (ask sys "HELO\n")
+
+let test_protocol_single () = protocol_checks (build_plain Variation.single)
+
+let test_protocol_uid_diversity () = protocol_checks (build Variation.uid_diversity)
+
+let test_protocol_full_diversity () = protocol_checks (build Variation.full_diversity)
+
+let test_many_sessions_stable () =
+  let sys = build Variation.uid_diversity in
+  for _ = 1 to 10 do
+    expect_response "OK" (ask sys (Authd.login "alice"));
+    expect_response "ADMIN" (ask sys (Authd.login "root"))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* UID array reexpression                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_admins_array_reexpressed () =
+  let sys = build Variation.uid_diversity in
+  (* Force loading/start so symbols resolve. *)
+  expect_response "OK" (ask sys (Authd.login "alice"));
+  let stored variant index =
+    let loaded = Monitor.loaded (Nsystem.monitor sys) variant in
+    Nv_vm.Memory.load_word loaded.Nv_vm.Image.memory
+      (Nv_vm.Image.abs_symbol loaded "admins" + (4 * index))
+  in
+  (* Variant 0 canonical, variant 1 XORed - the Init_array path. *)
+  Alcotest.(check int) "v0 admins[0]" 0 (stored 0 0);
+  Alcotest.(check int) "v0 admins[1]" 33 (stored 0 1);
+  Alcotest.(check int) "v1 admins[0]" 0x7FFFFFFF (stored 1 0);
+  Alcotest.(check int) "v1 admins[1]" (33 lxor 0x7FFFFFFF) (stored 1 1)
+
+(* ------------------------------------------------------------------ *)
+(* The admin-list corruption attack                                    *)
+(* ------------------------------------------------------------------ *)
+
+let alice_uid = 1000
+
+let test_overflow_escalates_on_baseline () =
+  let sys = build_plain Variation.single in
+  expect_response "OK" (ask sys (Authd.login "alice"));
+  (* The overflowing login itself fails the lookup... *)
+  expect_response "NOUSER" (ask sys (Authd.overflow_login ~target_uid:alice_uid));
+  (* ...but has rewritten admins[0]: alice is now an administrator. *)
+  expect_response "ADMIN" (ask sys (Authd.login "alice"))
+
+let test_overflow_escalates_under_address_partition () =
+  let sys = build_plain Variation.address_partition in
+  expect_response "NOUSER" (ask sys (Authd.overflow_login ~target_uid:alice_uid));
+  expect_response "ADMIN" (ask sys (Authd.login "alice"))
+
+let test_overflow_detected_under_uid_diversity () =
+  let sys = build Variation.uid_diversity in
+  expect_response "NOUSER" (ask sys (Authd.overflow_login ~target_uid:alice_uid));
+  (* The corrupted array entry decodes differently per variant: the
+     membership check's cc_eq raises the alarm before any verdict. *)
+  match ask sys (Authd.login "alice") with
+  | `Alarm (Alarm.Arg_mismatch { syscall; _ }) ->
+    Alcotest.(check string) "at cc_eq" "cc_eq" (Nv_os.Syscall.name syscall)
+  | `Alarm reason -> Alcotest.failf "wrong alarm: %a" Alarm.pp reason
+  | `Response r -> Alcotest.failf "not detected; authd answered %S" r
+
+let test_overflow_login_validation () =
+  Alcotest.(check bool) "uid with NUL low byte rejected" true
+    (try
+       ignore (Authd.overflow_login ~target_uid:0x100);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "uid with high bytes rejected" true
+    (try
+       ignore (Authd.overflow_login ~target_uid:0x10000);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "nv_authd"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "single" `Quick test_protocol_single;
+          Alcotest.test_case "uid diversity" `Quick test_protocol_uid_diversity;
+          Alcotest.test_case "full diversity" `Quick test_protocol_full_diversity;
+          Alcotest.test_case "many sessions" `Quick test_many_sessions_stable;
+        ] );
+      ( "reexpression",
+        [ Alcotest.test_case "admins array" `Quick test_admins_array_reexpressed ] );
+      ( "attack",
+        [
+          Alcotest.test_case "escalates on baseline" `Quick test_overflow_escalates_on_baseline;
+          Alcotest.test_case "escalates under address partition" `Quick
+            test_overflow_escalates_under_address_partition;
+          Alcotest.test_case "detected under uid diversity" `Quick
+            test_overflow_detected_under_uid_diversity;
+          Alcotest.test_case "payload validation" `Quick test_overflow_login_validation;
+        ] );
+    ]

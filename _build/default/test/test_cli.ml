@@ -1,0 +1,140 @@
+(* Smoke tests for the command-line executables. Test binaries run
+   with the build directory for this folder as their cwd, so the
+   executables are reachable at ../bin and ../bench. *)
+
+let run_capture command =
+  let output_file = Filename.temp_file "nvcli" ".out" in
+  let status = Sys.command (Printf.sprintf "%s > %s 2>&1" command output_file) in
+  let ic = open_in_bin output_file in
+  let n = in_channel_length ic in
+  let output = really_input_string ic n in
+  close_in ic;
+  Sys.remove output_file;
+  (status, output)
+
+let write_temp_program source =
+  let path = Filename.temp_file "nvcli" ".mc" in
+  let oc = open_out path in
+  output_string oc source;
+  close_out oc;
+  path
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec scan i =
+    i + n <= String.length haystack && (String.sub haystack i n = needle || scan (i + 1))
+  in
+  scan 0
+
+let hello_program =
+  {|int main(void) {
+      write_str(1, "hello from the guest\n");
+      return 0;
+    }|}
+
+let uid_program =
+  {|uid_t worker = 33;
+    int main(void) {
+      if (seteuid(worker) != 0) { return 1; }
+      return 0;
+    }|}
+
+let test_minicc_run () =
+  let path = write_temp_program hello_program in
+  let status, output = run_capture (Printf.sprintf "../bin/minicc.exe %s" path) in
+  Sys.remove path;
+  Alcotest.(check int) "exit 0" 0 status;
+  Alcotest.(check bool) "guest stdout" true (contains output "hello from the guest")
+
+let test_minicc_ast () =
+  let path = write_temp_program uid_program in
+  let status, output =
+    run_capture (Printf.sprintf "../bin/minicc.exe -a ast --no-runtime %s" path)
+  in
+  Sys.remove path;
+  Alcotest.(check int) "exit 0" 0 status;
+  Alcotest.(check bool) "uid_t kept" true (contains output "uid_t worker = 33;")
+
+let test_minicc_variant_source () =
+  let path = write_temp_program uid_program in
+  let status, output =
+    run_capture (Printf.sprintf "../bin/minicc.exe -a variant-source --no-runtime %s" path)
+  in
+  Sys.remove path;
+  Alcotest.(check int) "exit 0" 0 status;
+  Alcotest.(check bool) "constant reexpressed" true
+    (contains output (string_of_int (33 lxor 0x7FFFFFFF)))
+
+let test_minicc_rejects_bad_program () =
+  let path = write_temp_program "int main(void) { return missing; }" in
+  let status, _ = run_capture (Printf.sprintf "../bin/minicc.exe --no-runtime %s" path) in
+  Sys.remove path;
+  Alcotest.(check bool) "nonzero exit" true (status <> 0)
+
+let test_nvexec_uid_diversity () =
+  let path = write_temp_program uid_program in
+  let status, output =
+    run_capture (Printf.sprintf "../bin/nvexec.exe -v uid-diversity %s" path)
+  in
+  Sys.remove path;
+  Alcotest.(check int) "exit 0" 0 status;
+  Alcotest.(check bool) "reports variation" true (contains output "uid-diversity")
+
+let test_nvexec_trace () =
+  let path = write_temp_program uid_program in
+  let status, output =
+    run_capture (Printf.sprintf "../bin/nvexec.exe -v uid-diversity --trace %s" path)
+  in
+  Sys.remove path;
+  Alcotest.(check int) "exit 0" 0 status;
+  Alcotest.(check bool) "seteuid traced" true (contains output "[seteuid]")
+
+let test_attack_lab_list () =
+  let status, output = run_capture "../bin/attack_lab.exe --list" in
+  Alcotest.(check int) "exit 0" 0 status;
+  Alcotest.(check bool) "lists overflow attack" true (contains output "uid-null-overflow");
+  Alcotest.(check bool) "lists injection" true (contains output "stack-code-injection")
+
+let test_attack_lab_single_cell () =
+  let status, output =
+    run_capture "../bin/attack_lab.exe --attack uid-null-overflow --config config4"
+  in
+  Alcotest.(check int) "exit 0 (not escalated)" 0 status;
+  Alcotest.(check bool) "detected" true (contains output "DETECTED")
+
+let test_bench_table1 () =
+  let status, output = run_capture "../bench/main.exe table1" in
+  Alcotest.(check int) "exit 0" 0 status;
+  Alcotest.(check bool) "prints the table" true (contains output "UID Variation (this paper)");
+  Alcotest.(check bool) "checks properties" true (contains output "disjointness 100000/100000")
+
+let test_bench_unknown_report () =
+  let status, _ = run_capture "../bench/main.exe nonsense" in
+  Alcotest.(check bool) "nonzero" true (status <> 0)
+
+let () =
+  Alcotest.run "nv_cli"
+    [
+      ( "minicc",
+        [
+          Alcotest.test_case "run" `Quick test_minicc_run;
+          Alcotest.test_case "ast" `Quick test_minicc_ast;
+          Alcotest.test_case "variant source" `Quick test_minicc_variant_source;
+          Alcotest.test_case "rejects bad program" `Quick test_minicc_rejects_bad_program;
+        ] );
+      ( "nvexec",
+        [
+          Alcotest.test_case "uid diversity" `Quick test_nvexec_uid_diversity;
+          Alcotest.test_case "trace" `Quick test_nvexec_trace;
+        ] );
+      ( "attack_lab",
+        [
+          Alcotest.test_case "list" `Quick test_attack_lab_list;
+          Alcotest.test_case "single cell" `Quick test_attack_lab_single_cell;
+        ] );
+      ( "bench",
+        [
+          Alcotest.test_case "table1" `Quick test_bench_table1;
+          Alcotest.test_case "unknown report" `Quick test_bench_unknown_report;
+        ] );
+    ]

@@ -1,0 +1,218 @@
+(* Tests for nv_httpd: server behaviour across all four deployment
+   configurations, HTTP codec, site content, transformation report. *)
+
+open Nv_httpd
+module Nsystem = Nv_core.Nsystem
+module Monitor = Nv_core.Monitor
+module Vfs = Nv_os.Vfs
+
+let build config =
+  match Deploy.build config with Ok sys -> sys | Error e -> Alcotest.fail e
+
+let serve sys path =
+  match Nsystem.serve sys (Http.get path) with
+  | Nsystem.Served raw -> (
+    match Http.parse_response raw with
+    | Ok response -> response
+    | Error e -> Alcotest.failf "bad response: %s" e)
+  | Nsystem.Stopped outcome ->
+    Alcotest.failf "server stopped: %s"
+      (match outcome with
+      | Monitor.Exited n -> Printf.sprintf "exit %d" n
+      | Monitor.Alarm r -> Nv_core.Alarm.to_string r
+      | Monitor.Blocked_on_accept -> "blocked"
+      | Monitor.Out_of_fuel -> "fuel")
+
+(* ------------------------------------------------------------------ *)
+(* HTTP codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_http_get_render () =
+  Alcotest.(check string) "request" "GET /a/b HTTP/1.0\r\n\r\n" (Http.get "/a/b")
+
+let test_http_parse () =
+  match Http.parse_response "HTTP/1.0 200 OK\r\nContent-Length: 5\r\n\r\nhello" with
+  | Ok { Http.status = 200; content_length = Some 5; body = "hello" } -> ()
+  | Ok _ -> Alcotest.fail "fields wrong"
+  | Error e -> Alcotest.fail e
+
+let test_http_parse_errors () =
+  (match Http.parse_response "garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "no separator should fail");
+  match Http.parse_response "HTTP/1.0 abc\r\n\r\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad status should fail"
+
+(* ------------------------------------------------------------------ *)
+(* Site                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_site_sizes () =
+  List.iter
+    (fun file ->
+      Alcotest.(check int) (file.Site.name ^ " size") file.Site.size
+        (String.length (Site.content file)))
+    Site.files
+
+let test_site_install () =
+  let vfs = Vfs.create () in
+  Site.install vfs;
+  List.iter
+    (fun file ->
+      Alcotest.(check bool) (file.Site.name ^ " installed") true
+        (Vfs.exists vfs ("/var/www/" ^ file.Site.name)))
+    Site.files
+
+let test_site_mix_paths_resolve () =
+  let vfs = Vfs.create () in
+  Site.install vfs;
+  Array.iter
+    (fun path ->
+      let path = if path = "/" then "/index.html" else path in
+      Alcotest.(check bool) (path ^ " exists") true (Vfs.exists vfs ("/var/www" ^ path)))
+    Site.request_mix
+
+(* ------------------------------------------------------------------ *)
+(* Server behaviour per configuration                                  *)
+(* ------------------------------------------------------------------ *)
+
+let index_file = List.hd Site.files
+
+let check_basic_behaviour config =
+  let sys = build config in
+  (* Root path serves the index. *)
+  let response = serve sys "/" in
+  Alcotest.(check int) "index status" 200 response.Http.status;
+  Alcotest.(check string) "index body" (Site.content index_file) response.Http.body;
+  (* Direct file. *)
+  let response = serve sys "/small.html" in
+  Alcotest.(check int) "small status" 200 response.Http.status;
+  Alcotest.(check int) "content length header matches" (String.length response.Http.body)
+    (Option.value ~default:(-1) response.Http.content_length);
+  (* A file larger than the server's 4 KiB buffer streams correctly. *)
+  let response = serve sys "/large.html" in
+  Alcotest.(check int) "large status" 200 response.Http.status;
+  Alcotest.(check int) "large size" 16384 (String.length response.Http.body);
+  (* Missing file. *)
+  let response = serve sys "/missing.html" in
+  Alcotest.(check int) "404" 404 response.Http.status;
+  (* Bad method. *)
+  (match Nsystem.serve sys "POST / HTTP/1.0\r\n\r\n" with
+  | Nsystem.Served raw -> (
+    match Http.parse_response raw with
+    | Ok r -> Alcotest.(check int) "405" 405 r.Http.status
+    | Error e -> Alcotest.fail e)
+  | Nsystem.Stopped _ -> Alcotest.fail "server died on POST");
+  (* Garbage request. *)
+  (match Nsystem.serve sys "NONSENSE\r\n\r\n" with
+  | Nsystem.Served raw -> (
+    match Http.parse_response raw with
+    | Ok r -> Alcotest.(check int) "400" 400 r.Http.status
+    | Error e -> Alcotest.fail e)
+  | Nsystem.Stopped _ -> Alcotest.fail "server died on garbage");
+  (* Traversal is harmless while the UID is intact: the worker cannot
+     read the 0600 file. *)
+  let response = serve sys "/../../secret/shadow" in
+  Alcotest.(check int) "traversal denied" 404 response.Http.status;
+  sys
+
+let test_config1_behaviour () = ignore (check_basic_behaviour Deploy.Unmodified_single)
+let test_config2_behaviour () = ignore (check_basic_behaviour Deploy.Transformed_single)
+let test_config3_behaviour () = ignore (check_basic_behaviour Deploy.Two_variant_address)
+let test_config4_behaviour () = ignore (check_basic_behaviour Deploy.Two_variant_uid)
+
+let test_query_string_stripped () =
+  let sys = build Deploy.Unmodified_single in
+  let response = serve sys "/small.html?token=letmein" in
+  Alcotest.(check int) "200 with query" 200 response.Http.status
+
+let test_access_log_written () =
+  let sys = build Deploy.Two_variant_uid in
+  ignore (serve sys "/");
+  ignore (serve sys "/missing.html");
+  match Vfs.contents (Nsystem.kernel sys |> Nv_os.Kernel.vfs) ~path:"/var/log/httpd.log" with
+  | Ok log ->
+    let contains s sub =
+      let n = String.length sub in
+      let rec scan i = i + n <= String.length s && (String.sub s i n = sub || scan (i + 1)) in
+      scan 0
+    in
+    Alcotest.(check bool) "200 logged" true (contains log "GET / 200");
+    Alcotest.(check bool) "404 logged" true (contains log "GET /missing.html 404")
+  | Error _ -> Alcotest.fail "log missing"
+
+let test_many_requests_stable () =
+  let sys = build Deploy.Two_variant_uid in
+  for _ = 1 to 20 do
+    let r = serve sys "/index.html" in
+    Alcotest.(check int) "status" 200 r.Http.status
+  done
+
+let test_worker_uid_resolved_per_variant () =
+  let sys = build Deploy.Two_variant_uid in
+  ignore (serve sys "/");
+  let monitor = Nsystem.monitor sys in
+  let stored i =
+    let loaded = Monitor.loaded monitor i in
+    Nv_vm.Memory.load_word loaded.Nv_vm.Image.memory
+      (Nv_vm.Image.abs_symbol loaded "worker_uid")
+  in
+  Alcotest.(check int) "variant 0 canonical" 33 (stored 0);
+  Alcotest.(check int) "variant 1 reexpressed" (33 lxor 0x7FFFFFFF) (stored 1)
+
+(* ------------------------------------------------------------------ *)
+(* Transformation report (experiment X1)                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_transform_report_categories () =
+  match Deploy.transform_report () with
+  | Error e -> Alcotest.fail e
+  | Ok report ->
+    let open Nv_transform.Uid_transform in
+    Alcotest.(check bool) "constants found" true (report.constants > 0);
+    Alcotest.(check bool) "cc calls inserted" true (report.cc_calls > 0);
+    Alcotest.(check bool) "uid scrubbed from log" true (report.log_scrubs > 0);
+    Alcotest.(check bool) "nontrivial total" true (total_changes report >= 10)
+
+let test_deploy_metadata () =
+  Alcotest.(check int) "four configs" 4 (List.length Deploy.all);
+  Alcotest.(check (list string)) "names"
+    [ "config1"; "config2"; "config3"; "config4" ]
+    (List.map Deploy.name Deploy.all);
+  Alcotest.(check int) "config4 variants" 2
+    (Nv_core.Variation.count (Deploy.variation Deploy.Two_variant_uid))
+
+let () =
+  Alcotest.run "nv_httpd"
+    [
+      ( "http",
+        [
+          Alcotest.test_case "get render" `Quick test_http_get_render;
+          Alcotest.test_case "parse" `Quick test_http_parse;
+          Alcotest.test_case "parse errors" `Quick test_http_parse_errors;
+        ] );
+      ( "site",
+        [
+          Alcotest.test_case "sizes" `Quick test_site_sizes;
+          Alcotest.test_case "install" `Quick test_site_install;
+          Alcotest.test_case "mix resolves" `Quick test_site_mix_paths_resolve;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "config1" `Quick test_config1_behaviour;
+          Alcotest.test_case "config2" `Quick test_config2_behaviour;
+          Alcotest.test_case "config3" `Quick test_config3_behaviour;
+          Alcotest.test_case "config4" `Quick test_config4_behaviour;
+          Alcotest.test_case "query string" `Quick test_query_string_stripped;
+          Alcotest.test_case "access log" `Quick test_access_log_written;
+          Alcotest.test_case "many requests" `Quick test_many_requests_stable;
+          Alcotest.test_case "per-variant worker uid" `Quick
+            test_worker_uid_resolved_per_variant;
+        ] );
+      ( "transform-report",
+        [
+          Alcotest.test_case "categories" `Quick test_transform_report_categories;
+          Alcotest.test_case "deploy metadata" `Quick test_deploy_metadata;
+        ] );
+    ]

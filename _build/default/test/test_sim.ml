@@ -1,0 +1,273 @@
+(* Unit and property tests for nv_sim: Heap, Engine, Resource. *)
+
+open Nv_sim
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_empty () =
+  let h : int Heap.t = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek h = None)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  Heap.push h ~key:3.0 ~seq:1 "c";
+  Heap.push h ~key:1.0 ~seq:2 "a";
+  Heap.push h ~key:2.0 ~seq:3 "b";
+  let pop () = match Heap.pop h with Some (_, _, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ]
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 1 to 10 do
+    Heap.push h ~key:5.0 ~seq:i i
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, _, v) ->
+      out := v :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "FIFO on equal keys" (List.init 10 (fun i -> i + 1))
+    (List.rev !out)
+
+let test_heap_peek_stable () =
+  let h = Heap.create () in
+  Heap.push h ~key:2.0 ~seq:1 "x";
+  Heap.push h ~key:1.0 ~seq:2 "y";
+  (match Heap.peek h with
+  | Some (k, _, v) ->
+    Alcotest.(check (float 0.0)) "peek key" 1.0 k;
+    Alcotest.(check string) "peek value" "y" v
+  | None -> Alcotest.fail "peek empty");
+  Alcotest.(check int) "size unchanged" 2 (Heap.size h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in nondecreasing key order" ~count:300
+    QCheck.(list (float_range 0.0 1000.0))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h ~key:k ~seq:i i) keys;
+      let rec drain last =
+        match Heap.pop h with
+        | None -> true
+        | Some (k, _, _) -> k >= last && drain k
+      in
+      drain neg_infinity)
+
+let prop_heap_size =
+  QCheck.Test.make ~name:"heap size tracks pushes and pops" ~count:200
+    QCheck.(small_list (float_range 0.0 10.0))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h ~key:k ~seq:i ()) keys;
+      let n = List.length keys in
+      Heap.size h = n
+      &&
+      (ignore (Heap.pop h);
+       Heap.size h = max 0 (n - 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let trace = ref [] in
+  Engine.schedule_at e ~time:2.0 (fun () -> trace := "b" :: !trace);
+  Engine.schedule_at e ~time:1.0 (fun () -> trace := "a" :: !trace);
+  Engine.schedule_at e ~time:3.0 (fun () -> trace := "c" :: !trace);
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !trace)
+
+let test_engine_clock_advances () =
+  let e = Engine.create () in
+  Engine.schedule_at e ~time:5.5 (fun () -> ());
+  Engine.run e;
+  Alcotest.(check (float 1e-12)) "clock" 5.5 (Engine.now e)
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  Engine.schedule_at e ~time:1.0 (fun () ->
+      Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time in the past")
+        (fun () -> Engine.schedule_at e ~time:0.5 (fun () -> ())));
+  Engine.run e
+
+let test_engine_negative_delay_rejected () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Engine.schedule_after: negative delay") (fun () ->
+      Engine.schedule_after e ~delay:(-1.0) (fun () -> ()))
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule_at e ~time:1.0 (fun () ->
+      incr fired;
+      Engine.schedule_after e ~delay:1.0 (fun () -> incr fired));
+  Engine.run e;
+  Alcotest.(check int) "both fired" 2 !fired;
+  Alcotest.(check (float 1e-12)) "final time" 2.0 (Engine.now e)
+
+let test_engine_until_horizon () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Engine.schedule_at e ~time:t (fun () -> fired := t :: !fired))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  Engine.run ~until:2.5 e;
+  Alcotest.(check (list (float 1e-12))) "only <= 2.5" [ 1.0; 2.0 ] (List.rev !fired);
+  Alcotest.(check (float 1e-12)) "clock at horizon" 2.5 (Engine.now e);
+  Alcotest.(check int) "events remain" 2 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "all fired eventually" 4 (List.length !fired)
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let trace = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule_at e ~time:1.0 (fun () -> trace := i :: !trace)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO" [ 1; 2; 3; 4; 5 ] (List.rev !trace)
+
+let test_engine_step () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "empty step" false (Engine.step e);
+  Engine.schedule_at e ~time:1.0 (fun () -> ());
+  Alcotest.(check bool) "one step" true (Engine.step e);
+  Alcotest.(check bool) "drained" false (Engine.step e)
+
+(* ------------------------------------------------------------------ *)
+(* Resource                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_resource_serializes () =
+  let e = Engine.create () in
+  let cpu = Resource.create e ~name:"cpu" ~capacity:1 in
+  let completions = ref [] in
+  for i = 1 to 3 do
+    Resource.serve cpu ~duration:2.0 (fun () ->
+        completions := (i, Engine.now e) :: !completions)
+  done;
+  Engine.run e;
+  let times = List.rev_map snd !completions in
+  Alcotest.(check (list (float 1e-9))) "serialized completions" [ 2.0; 4.0; 6.0 ] times
+
+let test_resource_parallel_capacity () =
+  let e = Engine.create () in
+  let cpu = Resource.create e ~name:"cpu" ~capacity:2 in
+  let completions = ref [] in
+  for _ = 1 to 4 do
+    Resource.serve cpu ~duration:1.0 (fun () ->
+        completions := Engine.now e :: !completions)
+  done;
+  Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "two waves" [ 1.0; 1.0; 2.0; 2.0 ]
+    (List.rev !completions)
+
+let test_resource_queue_length () =
+  let e = Engine.create () in
+  let cpu = Resource.create e ~name:"cpu" ~capacity:1 in
+  for _ = 1 to 5 do
+    Resource.serve cpu ~duration:1.0 (fun () -> ())
+  done;
+  Alcotest.(check int) "busy" 1 (Resource.busy cpu);
+  Alcotest.(check int) "queued" 4 (Resource.queue_length cpu);
+  Engine.run e;
+  Alcotest.(check int) "drained" 0 (Resource.queue_length cpu);
+  Alcotest.(check int) "idle" 0 (Resource.busy cpu)
+
+let test_resource_utilization () =
+  let e = Engine.create () in
+  let cpu = Resource.create e ~name:"cpu" ~capacity:1 in
+  Resource.serve cpu ~duration:2.0 (fun () -> ());
+  Engine.schedule_at e ~time:4.0 (fun () -> ());
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "util = 0.5" 0.5 (Resource.utilization cpu)
+
+let test_resource_invalid () =
+  let e = Engine.create () in
+  Alcotest.check_raises "capacity" (Invalid_argument "Resource.create: capacity must be >= 1")
+    (fun () -> ignore (Resource.create e ~name:"x" ~capacity:0));
+  let cpu = Resource.create e ~name:"cpu" ~capacity:1 in
+  Alcotest.check_raises "duration" (Invalid_argument "Resource.serve: negative duration")
+    (fun () -> Resource.serve cpu ~duration:(-0.1) (fun () -> ()))
+
+let test_resource_completion_resubmits () =
+  let e = Engine.create () in
+  let cpu = Resource.create e ~name:"cpu" ~capacity:1 in
+  let done_times = ref [] in
+  Resource.serve cpu ~duration:1.0 (fun () ->
+      done_times := Engine.now e :: !done_times;
+      Resource.serve cpu ~duration:1.0 (fun () ->
+          done_times := Engine.now e :: !done_times));
+  Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "chained" [ 1.0; 2.0 ] (List.rev !done_times)
+
+let prop_resource_conserves_jobs =
+  QCheck.Test.make ~name:"every job submitted completes exactly once" ~count:100
+    QCheck.(pair (int_range 1 4) (small_list (float_range 0.0 3.0)))
+    (fun (capacity, durations) ->
+      let e = Engine.create () in
+      let r = Resource.create e ~name:"r" ~capacity in
+      let completed = ref 0 in
+      List.iter (fun d -> Resource.serve r ~duration:d (fun () -> incr completed)) durations;
+      Engine.run e;
+      !completed = List.length durations)
+
+let prop_resource_busy_time_is_total_duration =
+  QCheck.Test.make ~name:"busy time equals sum of durations" ~count:100
+    QCheck.(small_list (float_range 0.0 3.0))
+    (fun durations ->
+      let e = Engine.create () in
+      let r = Resource.create e ~name:"r" ~capacity:2 in
+      List.iter (fun d -> Resource.serve r ~duration:d (fun () -> ())) durations;
+      Engine.run e;
+      let total = List.fold_left ( +. ) 0.0 durations in
+      abs_float (Resource.busy_time r -. total) < 1e-6)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "nv_sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "peek stable" `Quick test_heap_peek_stable;
+        ]
+        @ qsuite [ prop_heap_sorts; prop_heap_size ] );
+      ( "engine",
+        [
+          Alcotest.test_case "order" `Quick test_engine_order;
+          Alcotest.test_case "clock advances" `Quick test_engine_clock_advances;
+          Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
+          Alcotest.test_case "negative delay rejected" `Quick test_engine_negative_delay_rejected;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "until horizon" `Quick test_engine_until_horizon;
+          Alcotest.test_case "same-time FIFO" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "step" `Quick test_engine_step;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "serializes" `Quick test_resource_serializes;
+          Alcotest.test_case "parallel capacity" `Quick test_resource_parallel_capacity;
+          Alcotest.test_case "queue length" `Quick test_resource_queue_length;
+          Alcotest.test_case "utilization" `Quick test_resource_utilization;
+          Alcotest.test_case "invalid args" `Quick test_resource_invalid;
+          Alcotest.test_case "completion resubmits" `Quick test_resource_completion_resubmits;
+        ]
+        @ qsuite [ prop_resource_conserves_jobs; prop_resource_busy_time_is_total_duration ] );
+    ]

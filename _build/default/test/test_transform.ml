@@ -1,0 +1,392 @@
+(* Tests for nv_transform: instrumentation counts, per-variant
+   reexpression, both comparison-exposure modes, and end-to-end normal
+   equivalence / detection of transformed programs with UID constants. *)
+
+open Nv_transform
+module Ut = Uid_transform
+module Variation = Nv_core.Variation
+module Reexpression = Nv_core.Reexpression
+module Monitor = Nv_core.Monitor
+module Nsystem = Nv_core.Nsystem
+module Alarm = Nv_core.Alarm
+module Image = Nv_vm.Image
+module Memory = Nv_vm.Memory
+
+let check_tprog source =
+  match Nv_minic.Typecheck.check (Nv_minic.Parser.parse source) with
+  | Ok t -> t
+  | Error (e :: _) -> Alcotest.failf "type error: %a" Nv_minic.Typecheck.pp_error e
+  | Error [] -> Alcotest.fail "typecheck failed"
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec scan i =
+    i + n <= String.length haystack && (String.sub haystack i n = needle || scan (i + 1))
+  in
+  scan 0
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation accounting                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_explication_of_negated_uid () =
+  let t = check_tprog "int main(void) { if (!getuid()) { return 1; } return 0; }" in
+  let _, report = Ut.instrument t in
+  Alcotest.(check int) "one explication" 1 report.Ut.explications;
+  (* The explicated comparison becomes a cc_eq call... *)
+  Alcotest.(check int) "one cc" 1 report.Ut.cc_calls;
+  (* ...and the explicit 0 becomes a reexpressible constant. *)
+  Alcotest.(check int) "one constant" 1 report.Ut.constants
+
+let test_bare_uid_condition_explicated () =
+  let t = check_tprog "int main(void) { if (getuid()) { return 1; } return 0; }" in
+  let _, report = Ut.instrument t in
+  Alcotest.(check int) "explicated" 1 report.Ut.explications;
+  Alcotest.(check int) "cc_neq inserted" 1 report.Ut.cc_calls
+
+let test_comparison_exposure_counts () =
+  let t =
+    check_tprog
+      {|int main(void) {
+          uid_t a = getuid();
+          uid_t b = geteuid();
+          if (a == b) { return 1; }
+          if (a < b) { return 2; }
+          if (a >= b) { return 3; }
+          return 0;
+        }|}
+  in
+  let _, report = Ut.instrument t in
+  Alcotest.(check int) "three cc calls" 3 report.Ut.cc_calls;
+  (* cc-called conditions are already checked: no cond_chk on top. *)
+  Alcotest.(check int) "no cond_chk" 0 report.Ut.cond_chks
+
+let test_cond_chk_on_tainted_condition () =
+  let t =
+    check_tprog
+      {|int main(void) {
+          uid_t a = getuid();
+          int ok = cc_eq(a, a);
+          if (ok) { return 0; }
+          return 1;
+        }|}
+  in
+  let _, report = Ut.instrument t in
+  Alcotest.(check int) "cond_chk on tainted int" 1 report.Ut.cond_chks
+
+let test_untainted_conditions_untouched () =
+  let t =
+    check_tprog
+      {|int main(void) {
+          int n = 5;
+          while (n > 0) { n = n - 1; }
+          if (n == 0) { return 0; }
+          return 1;
+        }|}
+  in
+  let _, report = Ut.instrument t in
+  Alcotest.(check int) "no cond_chk" 0 report.Ut.cond_chks;
+  Alcotest.(check int) "no cc" 0 report.Ut.cc_calls;
+  Alcotest.(check int) "no constants" 0 report.Ut.constants
+
+let test_uid_value_on_user_function_args () =
+  let t =
+    check_tprog
+      {|int audit(uid_t who) { return (int)0; }
+        int main(void) {
+          uid_t me = getuid();
+          audit(me);
+          return 0;
+        }|}
+  in
+  let _, report = Ut.instrument t in
+  Alcotest.(check int) "uid_value wraps the argument" 1 report.Ut.uid_value_calls
+
+let test_uid_value_on_uid_returns () =
+  let t =
+    check_tprog
+      {|uid_t pick(void) {
+          uid_t me = getuid();
+          return me;
+        }
+        int main(void) { pick(); return 0; }|}
+  in
+  let _, report = Ut.instrument t in
+  Alcotest.(check int) "uid_value wraps the return" 1 report.Ut.uid_value_calls
+
+let test_builtin_args_not_double_wrapped () =
+  (* setuid's argument is already checked by the monitor; no uid_value. *)
+  let t = check_tprog "int main(void) { return seteuid(getuid()); }" in
+  let _, report = Ut.instrument t in
+  Alcotest.(check int) "no uid_value" 0 report.Ut.uid_value_calls
+
+let test_log_scrubbing () =
+  let source =
+    Nv_minic.Runtime.with_runtime
+      {|int main(void) {
+          write_int(1, (int)getuid());
+          return 0;
+        }|}
+  in
+  let t = check_tprog source in
+  let _, report = Ut.instrument t in
+  Alcotest.(check int) "one scrub" 1 report.Ut.log_scrubs;
+  let _, report_off = Ut.instrument ~scrub_logs:false t in
+  Alcotest.(check int) "scrubbing off" 0 report_off.Ut.log_scrubs
+
+let test_total_changes () =
+  let r =
+    {
+      Ut.constants = 15; explications = 3; uid_value_calls = 16; cc_calls = 22;
+      cond_chks = 20; reversed_comparisons = 0; log_scrubs = 0;
+    }
+  in
+  (* The paper's Apache total: 73 changes. *)
+  Alcotest.(check int) "73" 73 (Ut.total_changes r)
+
+(* ------------------------------------------------------------------ *)
+(* Per-variant reexpression                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_variant_source_shows_reexpressed_constant () =
+  let source = "uid_t worker = 33; int main(void) { return seteuid(worker); }" in
+  match Ut.variant_source ~f:(Reexpression.uid_for_variant 1) source with
+  | Error e -> Alcotest.fail e
+  | Ok text ->
+    Alcotest.(check bool) "33 reexpressed" true
+      (contains text (string_of_int (33 lxor 0x7FFFFFFF)));
+    Alcotest.(check bool) "plain 33 gone" false (contains text " 33;")
+
+let test_variant0_source_unchanged_constants () =
+  let source = "uid_t worker = 33; int main(void) { return seteuid(worker); }" in
+  match Ut.variant_source ~f:(Reexpression.uid_for_variant 0) source with
+  | Error e -> Alcotest.fail e
+  | Ok text -> Alcotest.(check bool) "33 kept" true (contains text "33")
+
+let test_reexpress_involution () =
+  let t = check_tprog "int main(void) { uid_t u = 33; if (u == 33) { return 1; } return 0; }" in
+  let instrumented, _ = Ut.instrument t in
+  let f = Reexpression.uid_for_variant 1 in
+  let once = Ut.reexpress ~f instrumented in
+  let twice = Ut.reexpress ~f once in
+  Alcotest.(check bool) "involution" true (twice = instrumented)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: transformed programs under the monitor                  *)
+(* ------------------------------------------------------------------ *)
+
+let build ?mode ~variation source =
+  match Ut.transform_source ?mode ~variation (Nv_minic.Runtime.with_runtime source) with
+  | Ok (images, report) -> (images, report)
+  | Error e -> Alcotest.fail e
+
+let expect_exit expected outcome =
+  match outcome with
+  | Monitor.Exited status -> Alcotest.(check int) "exit status" expected status
+  | Monitor.Alarm reason -> Alcotest.failf "unexpected alarm: %a" Alarm.pp reason
+  | Monitor.Blocked_on_accept -> Alcotest.fail "unexpected accept block"
+  | Monitor.Out_of_fuel -> Alcotest.fail "out of fuel"
+
+(* The privilege-drop pattern with explicit UID constants - exactly
+   what required transformation in the paper's Apache study. *)
+let privilege_drop_source =
+  {|uid_t worker_uid = 33;
+    int main(void) {
+      if (getuid() != 0) { return 1; }
+      if (seteuid(worker_uid) != 0) { return 2; }
+      if (geteuid() != worker_uid) { return 3; }
+      if (seteuid(0) != 0) { return 4; }
+      if (!geteuid()) { return 0; }
+      return 5;
+    }|}
+
+let test_e2e_constants_normal_equivalence () =
+  let images, report = build ~variation:Variation.uid_diversity privilege_drop_source in
+  Alcotest.(check bool) "constants found" true (report.Ut.constants >= 4);
+  let sys = Nsystem.create ~variation:Variation.uid_diversity images in
+  expect_exit 0 (Nsystem.run sys)
+
+let test_e2e_user_space_mode () =
+  let images, _ = build ~mode:Ut.User_space ~variation:Variation.uid_diversity privilege_drop_source in
+  let sys = Nsystem.create ~variation:Variation.uid_diversity images in
+  expect_exit 0 (Nsystem.run sys)
+
+let test_e2e_inequalities_user_space_reversed () =
+  let source =
+    {|uid_t lo = 10;
+      uid_t hi = 1000;
+      int main(void) {
+        if (lo < hi) { return 0; }
+        return 1;
+      }|}
+  in
+  let images, report = build ~mode:Ut.User_space ~variation:Variation.uid_diversity source in
+  Alcotest.(check int) "variant 1 comparisons reversed" 1 report.Ut.reversed_comparisons;
+  let sys = Nsystem.create ~variation:Variation.uid_diversity images in
+  expect_exit 0 (Nsystem.run sys)
+
+let test_e2e_inequalities_cc_mode () =
+  let source =
+    {|uid_t lo = 10;
+      uid_t hi = 1000;
+      int main(void) {
+        if (lo < hi) { return 0; }
+        return 1;
+      }|}
+  in
+  let images, report = build ~variation:Variation.uid_diversity source in
+  Alcotest.(check int) "cc_lt used" 1 report.Ut.cc_calls;
+  Alcotest.(check int) "no reversal needed" 0 report.Ut.reversed_comparisons;
+  let sys = Nsystem.create ~variation:Variation.uid_diversity images in
+  expect_exit 0 (Nsystem.run sys)
+
+let test_e2e_getpwnam_with_constants () =
+  (* Full path: unshared passwd parse + constant comparison + privilege
+     drop, transformed. *)
+  let source =
+    {|int main(void) {
+        uid_t www = getpwnam_uid("www");
+        if (www == (uid_t)(-1)) { return 1; }
+        if (www != 33) { return 2; }
+        if (seteuid(www) != 0) { return 3; }
+        int fd = sys_open("/secret/shadow", 0);
+        if (fd >= 0) { return 4; }
+        return 0;
+      }|}
+  in
+  let images, _ = build ~variation:Variation.uid_diversity source in
+  let sys = Nsystem.create ~variation:Variation.uid_diversity images in
+  expect_exit 0 (Nsystem.run sys)
+
+let test_e2e_detects_constant_corruption () =
+  (* Corrupt the stored worker_uid with the same concrete value in both
+     variants mid-run: the transformed system alarms at the seteuid. *)
+  let source =
+    {|uid_t worker_uid = 33;
+      int main(void) {
+        int fd = sys_accept();
+        sys_close(fd);
+        if (seteuid(worker_uid) != 0) { return 1; }
+        return 0;
+      }|}
+  in
+  let images, _ = build ~variation:Variation.uid_diversity source in
+  let sys = Nsystem.create ~variation:Variation.uid_diversity images in
+  (match Nsystem.run sys with
+  | Monitor.Blocked_on_accept -> ()
+  | _ -> Alcotest.fail "expected block");
+  let monitor = Nsystem.monitor sys in
+  for i = 0 to 1 do
+    let loaded = Monitor.loaded monitor i in
+    Memory.store_word loaded.Image.memory (Image.abs_symbol loaded "worker_uid") 0
+  done;
+  ignore (Nsystem.connect sys);
+  match Nsystem.run sys with
+  | Monitor.Alarm (Alarm.Arg_mismatch _) -> ()
+  | other ->
+    Alcotest.failf "expected alarm, got %s"
+      (match other with
+      | Monitor.Exited n -> Printf.sprintf "exit %d" n
+      | Monitor.Alarm r -> Alarm.to_string r
+      | Monitor.Blocked_on_accept -> "blocked"
+      | Monitor.Out_of_fuel -> "fuel")
+
+let test_e2e_cc_catches_comparison_corruption () =
+  (* Even a pure comparison (no kernel UID call) is exposed: corrupting
+     the value flips nothing observable in user space - the cc_eq
+     rendezvous catches the mismatched canonicals. *)
+  let source =
+    {|uid_t admin = 0;
+      int main(void) {
+        int fd = sys_accept();
+        sys_close(fd);
+        if (geteuid() == admin) { return 0; }
+        return 1;
+      }|}
+  in
+  let images, _ = build ~variation:Variation.uid_diversity source in
+  let sys = Nsystem.create ~variation:Variation.uid_diversity images in
+  (match Nsystem.run sys with
+  | Monitor.Blocked_on_accept -> ()
+  | _ -> Alcotest.fail "expected block");
+  let monitor = Nsystem.monitor sys in
+  for i = 0 to 1 do
+    let loaded = Monitor.loaded monitor i in
+    Memory.store_word loaded.Image.memory (Image.abs_symbol loaded "admin") 1000
+  done;
+  ignore (Nsystem.connect sys);
+  match Nsystem.run sys with
+  | Monitor.Alarm (Alarm.Arg_mismatch { syscall; _ }) ->
+    Alcotest.(check string) "detected at cc_eq" "cc_eq" (Nv_os.Syscall.name syscall)
+  | other ->
+    Alcotest.failf "expected cc_eq alarm, got %s"
+      (match other with
+      | Monitor.Exited n -> Printf.sprintf "exit %d" n
+      | Monitor.Alarm r -> Alarm.to_string r
+      | Monitor.Blocked_on_accept -> "blocked"
+      | Monitor.Out_of_fuel -> "fuel")
+
+let test_e2e_log_scrub_prevents_false_output_divergence () =
+  (* With scrubbing on (default), logging a UID no longer diverges. *)
+  let source =
+    {|int main(void) {
+        write_str(1, "euid is ");
+        write_int(1, (int)geteuid());
+        write_str(1, "\n");
+        return 0;
+      }|}
+  in
+  let images, report = build ~variation:Variation.uid_diversity source in
+  Alcotest.(check int) "scrubbed" 1 report.Ut.log_scrubs;
+  let sys = Nsystem.create ~variation:Variation.uid_diversity images in
+  expect_exit 0 (Nsystem.run sys)
+
+let test_transform_source_error_paths () =
+  (match Ut.transform_source ~variation:Variation.uid_diversity "int main(" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse error expected");
+  match Ut.transform_source ~variation:Variation.uid_diversity "int main(void) { return x; }" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "type error expected"
+
+let () =
+  Alcotest.run "nv_transform"
+    [
+      ( "instrumentation",
+        [
+          Alcotest.test_case "explication of !uid" `Quick test_explication_of_negated_uid;
+          Alcotest.test_case "bare uid condition" `Quick test_bare_uid_condition_explicated;
+          Alcotest.test_case "comparison exposure" `Quick test_comparison_exposure_counts;
+          Alcotest.test_case "cond_chk on tainted" `Quick test_cond_chk_on_tainted_condition;
+          Alcotest.test_case "untainted untouched" `Quick test_untainted_conditions_untouched;
+          Alcotest.test_case "uid_value on args" `Quick test_uid_value_on_user_function_args;
+          Alcotest.test_case "uid_value on returns" `Quick test_uid_value_on_uid_returns;
+          Alcotest.test_case "builtins not wrapped" `Quick test_builtin_args_not_double_wrapped;
+          Alcotest.test_case "log scrubbing" `Quick test_log_scrubbing;
+          Alcotest.test_case "total changes" `Quick test_total_changes;
+        ] );
+      ( "reexpression",
+        [
+          Alcotest.test_case "variant source constants" `Quick
+            test_variant_source_shows_reexpressed_constant;
+          Alcotest.test_case "variant 0 unchanged" `Quick test_variant0_source_unchanged_constants;
+          Alcotest.test_case "involution" `Quick test_reexpress_involution;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "constants normal equivalence" `Quick
+            test_e2e_constants_normal_equivalence;
+          Alcotest.test_case "user-space mode" `Quick test_e2e_user_space_mode;
+          Alcotest.test_case "inequalities reversed (user-space)" `Quick
+            test_e2e_inequalities_user_space_reversed;
+          Alcotest.test_case "inequalities via cc (default)" `Quick test_e2e_inequalities_cc_mode;
+          Alcotest.test_case "getpwnam with constants" `Quick test_e2e_getpwnam_with_constants;
+          Alcotest.test_case "detects constant corruption" `Quick
+            test_e2e_detects_constant_corruption;
+          Alcotest.test_case "cc catches comparison corruption" `Quick
+            test_e2e_cc_catches_comparison_corruption;
+          Alcotest.test_case "log scrub prevents divergence" `Quick
+            test_e2e_log_scrub_prevents_false_output_divergence;
+          Alcotest.test_case "error paths" `Quick test_transform_source_error_paths;
+        ] );
+    ]

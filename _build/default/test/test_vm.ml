@@ -1,0 +1,669 @@
+(* Tests for nv_vm: Word, Memory, Isa, Cpu, Asm, Image, Disasm. *)
+
+open Nv_vm
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+(* ------------------------------------------------------------------ *)
+(* Word                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let full_word_gen =
+  (* Cover the full 32-bit range including high-bit values. *)
+  QCheck.map
+    (fun (hi, lo) -> Word.mask ((hi lsl 16) lor lo))
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 0xFFFF))
+
+let test_word_mask () =
+  Alcotest.(check int) "wraps" 0 (Word.mask 0x1_0000_0000);
+  Alcotest.(check int) "negative" 0xFFFFFFFF (Word.mask (-1))
+
+let test_word_signed_roundtrip () =
+  Alcotest.(check int) "positive" 5 (Word.to_signed 5);
+  Alcotest.(check int) "negative one" (-1) (Word.to_signed 0xFFFFFFFF);
+  Alcotest.(check int) "min int32" (-0x80000000) (Word.to_signed 0x80000000)
+
+let test_word_arith () =
+  Alcotest.(check int) "add wraps" 0 (Word.add 0xFFFFFFFF 1);
+  Alcotest.(check int) "sub wraps" 0xFFFFFFFF (Word.sub 0 1);
+  Alcotest.(check int) "mul wraps" (Word.mask (0x10000 * 0x10000)) (Word.mul 0x10000 0x10000)
+
+let test_word_div_signed () =
+  Alcotest.(check int) "7/2" 3 (Word.div_signed 7 2);
+  Alcotest.(check int) "-7/2" (Word.of_signed (-3)) (Word.div_signed (Word.of_signed (-7)) 2);
+  Alcotest.(check int) "rem sign" (Word.of_signed (-1))
+    (Word.rem_signed (Word.of_signed (-7)) 2);
+  Alcotest.check_raises "div zero" Division_by_zero (fun () ->
+      ignore (Word.div_signed 1 0))
+
+let test_word_shifts () =
+  Alcotest.(check int) "shl" 0x10 (Word.shift_left 1 4);
+  Alcotest.(check int) "shl masks amount" 2 (Word.shift_left 1 33);
+  Alcotest.(check int) "shr logical" 0x7FFFFFFF (Word.shift_right_logical 0xFFFFFFFE 1);
+  Alcotest.(check int) "sar keeps sign" 0xFFFFFFFF (Word.shift_right_arith 0xFFFFFFFF 1)
+
+let test_word_compare () =
+  Alcotest.(check bool) "signed lt" true (Word.lt_signed 0xFFFFFFFF 0);
+  Alcotest.(check bool) "unsigned not lt" false (Word.lt_unsigned 0xFFFFFFFF 0)
+
+let test_word_bytes () =
+  let w = 0xAABBCCDD in
+  Alcotest.(check int) "byte 0" 0xDD (Word.byte w 0);
+  Alcotest.(check int) "byte 3" 0xAA (Word.byte w 3);
+  Alcotest.(check int) "set byte" 0xAA11CCDD (Word.set_byte w 2 0x11);
+  Alcotest.check_raises "bad index" (Invalid_argument "Word.byte: index out of range")
+    (fun () -> ignore (Word.byte w 4))
+
+let prop_word_xor_involution =
+  QCheck.Test.make ~name:"xor with a key is an involution" ~count:500 full_word_gen
+    (fun w -> Word.logxor (Word.logxor w 0x7FFFFFFF) 0x7FFFFFFF = w)
+
+let prop_word_signed_roundtrip =
+  QCheck.Test.make ~name:"of_signed (to_signed w) = w" ~count:500 full_word_gen
+    (fun w -> Word.of_signed (Word.to_signed w) = w)
+
+let prop_word_set_byte_get =
+  QCheck.Test.make ~name:"set_byte then byte reads back" ~count:500
+    QCheck.(triple full_word_gen (int_bound 3) (int_bound 255))
+    (fun (w, i, b) -> Word.byte (Word.set_byte w i b) i = b)
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_memory_bounds () =
+  let m = Memory.create ~base:0x1000 ~size:0x100 in
+  Alcotest.(check bool) "in range low" true (Memory.in_range m 0x1000);
+  Alcotest.(check bool) "in range high" true (Memory.in_range m 0x10FF);
+  Alcotest.(check bool) "below" false (Memory.in_range m 0xFFF);
+  Alcotest.(check bool) "above" false (Memory.in_range m 0x1100)
+
+let expect_fault f =
+  match f () with
+  | exception Memory.Fault _ -> ()
+  | _ -> Alcotest.fail "expected Memory.Fault"
+
+let test_memory_fault_on_oob () =
+  let m = Memory.create ~base:0x1000 ~size:0x100 in
+  expect_fault (fun () -> Memory.load_byte m 0xFFF);
+  expect_fault (fun () -> Memory.store_byte m 0x1100 1);
+  (* Word access straddling the end also faults. *)
+  expect_fault (fun () -> Memory.load_word m 0x10FD)
+
+let test_memory_word_roundtrip () =
+  let m = Memory.create ~base:0 ~size:64 in
+  Memory.store_word m 8 0xDEADBEEF;
+  Alcotest.(check int) "word" 0xDEADBEEF (Memory.load_word m 8);
+  (* Little-endian layout. *)
+  Alcotest.(check int) "LE byte 0" 0xEF (Memory.load_byte m 8);
+  Alcotest.(check int) "LE byte 3" 0xDE (Memory.load_byte m 11)
+
+let test_memory_cstring () =
+  let m = Memory.create ~base:0 ~size:64 in
+  Memory.store_cstring m ~addr:4 "hello";
+  Alcotest.(check string) "read back" "hello" (Memory.load_cstring m ~addr:4 ~max_len:32);
+  Alcotest.(check string) "max_len truncates" "hel"
+    (Memory.load_cstring m ~addr:4 ~max_len:3);
+  Alcotest.(check int) "NUL written" 0 (Memory.load_byte m 9)
+
+let test_memory_bytes_blit () =
+  let m = Memory.create ~base:0x100 ~size:32 in
+  Memory.store_bytes m ~addr:0x104 (Bytes.of_string "abcd");
+  Alcotest.(check string) "blit back" "abcd"
+    (Bytes.to_string (Memory.load_bytes m ~addr:0x104 ~len:4))
+
+let test_memory_to_offset () =
+  let m = Memory.create ~base:0x80000000 ~size:0x1000 in
+  Alcotest.(check int) "canonical offset" 0x10 (Memory.to_offset m 0x80000010);
+  expect_fault (fun () -> Memory.to_offset m 0x10)
+
+let test_memory_create_invalid () =
+  Alcotest.check_raises "too big"
+    (Invalid_argument "Memory.create: segment outside the 32-bit address space")
+    (fun () -> ignore (Memory.create ~base:0xFFFFFFFF ~size:0x100))
+
+let prop_memory_byte_roundtrip =
+  QCheck.Test.make ~name:"byte store/load roundtrip" ~count:300
+    QCheck.(pair (int_bound 63) (int_bound 255))
+    (fun (off, v) ->
+      let m = Memory.create ~base:0x2000 ~size:64 in
+      Memory.store_byte m (0x2000 + off) v;
+      Memory.load_byte m (0x2000 + off) = v)
+
+let prop_memory_word_roundtrip =
+  QCheck.Test.make ~name:"word store/load roundtrip" ~count:300
+    QCheck.(pair (int_bound 60) full_word_gen)
+    (fun (off, w) ->
+      let m = Memory.create ~base:0 ~size:64 in
+      Memory.store_word m off w;
+      Memory.load_word m off = w)
+
+(* ------------------------------------------------------------------ *)
+(* Isa encode/decode                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let instr_gen : Isa.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let reg = int_bound 15 in
+  let word = map Word.mask (int_bound 0xFFFFFF) in
+  let operand = oneof [ map (fun r -> Isa.Reg r) reg; map (fun w -> Isa.Imm w) word ] in
+  let binop =
+    oneofl
+      [ Isa.Add; Isa.Sub; Isa.Mul; Isa.Div; Isa.Mod; Isa.And; Isa.Or; Isa.Xor;
+        Isa.Shl; Isa.Shr; Isa.Sar ]
+  in
+  let cond =
+    oneofl
+      [ Isa.Eq; Isa.Ne; Isa.Lt; Isa.Le; Isa.Gt; Isa.Ge; Isa.Ltu; Isa.Leu; Isa.Gtu;
+        Isa.Geu ]
+  in
+  let offset = map (fun x -> x - 2048) (int_bound 4096) in
+  oneof
+    [
+      return Isa.Nop;
+      return Isa.Halt;
+      return Isa.Ret;
+      return Isa.Syscall;
+      map2 (fun rd o -> Isa.Mov (rd, o)) reg operand;
+      map3 (fun rd rs off -> Isa.Load (rd, rs, off)) reg reg offset;
+      map3 (fun rd off rs -> Isa.Store (rd, off, rs)) reg offset reg;
+      map3 (fun rd rs off -> Isa.Loadb (rd, rs, off)) reg reg offset;
+      map3 (fun rd off rs -> Isa.Storeb (rd, off, rs)) reg offset reg;
+      (let* op = binop in
+       let* rd = reg in
+       let* rs = reg in
+       let* o = operand in
+       return (Isa.Binop (op, rd, rs, o)));
+      (let* c = cond in
+       let* rd = reg in
+       let* rs = reg in
+       let* o = operand in
+       return (Isa.Setcc (c, rd, rs, o)));
+      (let* c = cond in
+       let* rs = reg in
+       let* rt = reg in
+       let* w = word in
+       return (Isa.Br (c, rs, rt, w)));
+      map (fun w -> Isa.Jmp w) word;
+      map (fun r -> Isa.Jmpr r) reg;
+      map (fun w -> Isa.Call w) word;
+      map (fun r -> Isa.Callr r) reg;
+      map (fun r -> Isa.Push r) reg;
+      map (fun r -> Isa.Pop r) reg;
+    ]
+
+let arbitrary_instr = QCheck.make ~print:(Format.asprintf "%a" Isa.pp) instr_gen
+
+let prop_isa_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip preserves instruction" ~count:1000
+    QCheck.(pair arbitrary_instr (int_bound 255))
+    (fun (instr, tag) ->
+      match Isa.decode (Isa.encode ~tag instr) with
+      | Ok (tag', instr') -> tag' = tag && instr' = instr
+      | Error _ -> false)
+
+let test_isa_encode_size () =
+  Alcotest.(check int) "8 bytes" 8 (Bytes.length (Isa.encode ~tag:0 Isa.Nop));
+  Alcotest.(check int) "instr_size" 8 Isa.instr_size
+
+let test_isa_tag_in_byte0 () =
+  let b = Isa.encode ~tag:7 Isa.Halt in
+  Alcotest.(check int) "tag byte" 7 (Char.code (Bytes.get b 0))
+
+let test_isa_bad_register () =
+  Alcotest.check_raises "register range" (Invalid_argument "Isa.encode: register out of range")
+    (fun () -> ignore (Isa.encode ~tag:0 (Isa.Push 16)))
+
+let test_isa_bad_opcode_decode () =
+  let b = Bytes.make 8 '\000' in
+  Bytes.set b 1 (Char.chr 200);
+  match Isa.decode b with
+  | Error (Isa.Bad_opcode 200) -> ()
+  | _ -> Alcotest.fail "expected Bad_opcode"
+
+let test_isa_eval_cond () =
+  Alcotest.(check bool) "signed lt" true (Isa.eval_cond Isa.Lt 0xFFFFFFFF 0);
+  Alcotest.(check bool) "unsigned gtu" true (Isa.eval_cond Isa.Gtu 0xFFFFFFFF 0);
+  Alcotest.(check bool) "eq" true (Isa.eval_cond Isa.Eq 5 5);
+  Alcotest.(check bool) "le" true (Isa.eval_cond Isa.Le 5 5);
+  Alcotest.(check bool) "ge" true (Isa.eval_cond Isa.Ge 5 5)
+
+let prop_isa_cond_total_order =
+  QCheck.Test.make ~name:"lt/eq/gt trichotomy (signed)" ~count:500
+    QCheck.(pair full_word_gen full_word_gen)
+    (fun (a, b) ->
+      let lt = Isa.eval_cond Isa.Lt a b in
+      let eq = Isa.eval_cond Isa.Eq a b in
+      let gt = Isa.eval_cond Isa.Gt a b in
+      List.length (List.filter Fun.id [ lt; eq; gt ]) = 1)
+
+(* ------------------------------------------------------------------ *)
+(* Cpu via assembled programs                                          *)
+(* ------------------------------------------------------------------ *)
+
+let load_asm ?(tag = 0) ?(base = 0x1000) ?(size = 0x10000) source =
+  Image.load (Asm.assemble source) ~base ~size ~tag
+
+let run_to_halt ?(fuel = 100_000) loaded =
+  match Cpu.run loaded.Image.cpu ~fuel with
+  | Cpu.Trapped Cpu.Halt_trap -> ()
+  | Cpu.Trapped trap -> Alcotest.failf "unexpected trap: %a" Cpu.pp_trap trap
+  | Cpu.Out_of_fuel -> Alcotest.fail "out of fuel"
+
+let test_cpu_arith_program () =
+  let loaded =
+    load_asm {|
+      mov r1, #6
+      mov r2, #7
+      mul r3, r1, r2
+      halt
+    |}
+  in
+  run_to_halt loaded;
+  Alcotest.(check int) "6*7" 42 (Cpu.reg loaded.Image.cpu 3)
+
+let test_cpu_loop_program () =
+  (* Sum 1..10 with a branch loop. *)
+  let loaded =
+    load_asm {|
+      mov r1, #0      ; sum
+      mov r2, #1      ; i
+      mov r3, #10     ; limit
+    loop:
+      add r1, r1, r2
+      add r2, r2, #1
+      brle r2, r3, loop
+      halt
+    |}
+  in
+  run_to_halt loaded;
+  Alcotest.(check int) "sum 1..10" 55 (Cpu.reg loaded.Image.cpu 1)
+
+let test_cpu_call_ret () =
+  let loaded =
+    load_asm {|
+      mov r1, #5
+      call double
+      halt
+    double:
+      add r1, r1, r1
+      ret
+    |}
+  in
+  run_to_halt loaded;
+  Alcotest.(check int) "doubled" 10 (Cpu.reg loaded.Image.cpu 1)
+
+let test_cpu_memory_program () =
+  let loaded =
+    load_asm {|
+      .data
+      cell: .word 11
+      .text
+      la r1, cell
+      ld r2, [r1]
+      add r2, r2, #1
+      st [r1], r2
+      ld r3, [r1+0]
+      halt
+    |}
+  in
+  run_to_halt loaded;
+  Alcotest.(check int) "incremented" 12 (Cpu.reg loaded.Image.cpu 3)
+
+let test_cpu_push_pop () =
+  let loaded =
+    load_asm {|
+      mov r1, #123
+      push r1
+      mov r1, #0
+      pop r2
+      halt
+    |}
+  in
+  run_to_halt loaded;
+  Alcotest.(check int) "popped" 123 (Cpu.reg loaded.Image.cpu 2)
+
+let test_cpu_syscall_trap_resume () =
+  let loaded =
+    load_asm {|
+      mov r0, #9
+      syscall
+      mov r3, #1
+      halt
+    |}
+  in
+  let cpu = loaded.Image.cpu in
+  (match Cpu.run cpu ~fuel:100 with
+  | Cpu.Trapped Cpu.Syscall_trap -> ()
+  | other ->
+    Alcotest.failf "expected syscall trap, got %s"
+      (match other with
+      | Cpu.Trapped t -> Format.asprintf "%a" Cpu.pp_trap t
+      | Cpu.Out_of_fuel -> "out of fuel"));
+  Alcotest.(check int) "syscall number" 9 (Cpu.reg cpu 0);
+  (* Resuming continues after the syscall instruction. *)
+  (match Cpu.run cpu ~fuel:100 with
+  | Cpu.Trapped Cpu.Halt_trap -> ()
+  | _ -> Alcotest.fail "expected halt after resume");
+  Alcotest.(check int) "resumed" 1 (Cpu.reg cpu 3)
+
+let test_cpu_segfault_on_wild_store () =
+  let loaded =
+    load_asm {|
+      mov r1, #0
+      st [r1], r1
+      halt
+    |}
+  in
+  match Cpu.run loaded.Image.cpu ~fuel:100 with
+  | Cpu.Trapped (Cpu.Fault_trap (Cpu.Segfault { addr = 0; access = Memory.Write })) -> ()
+  | other ->
+    Alcotest.failf "expected segfault, got %s"
+      (match other with
+      | Cpu.Trapped t -> Format.asprintf "%a" Cpu.pp_trap t
+      | Cpu.Out_of_fuel -> "out of fuel")
+
+let test_cpu_division_fault () =
+  let loaded =
+    load_asm {|
+      mov r1, #1
+      mov r2, #0
+      div r3, r1, r2
+      halt
+    |}
+  in
+  match Cpu.run loaded.Image.cpu ~fuel:100 with
+  | Cpu.Trapped (Cpu.Fault_trap (Cpu.Division_fault _)) -> ()
+  | _ -> Alcotest.fail "expected division fault"
+
+let test_cpu_out_of_fuel () =
+  let loaded = load_asm {|
+    loop: jmp loop
+  |} in
+  match Cpu.run loaded.Image.cpu ~fuel:10 with
+  | Cpu.Out_of_fuel -> Alcotest.(check int) "retired" 10 (Cpu.instructions_retired loaded.Image.cpu)
+  | _ -> Alcotest.fail "expected out of fuel"
+
+let test_cpu_stack_fault_on_overflow () =
+  (* A push once the stack pointer has left the segment reports a stack
+     fault (the exhaustion signature distinguished from data faults). *)
+  let image = Asm.assemble {|
+      mov r13, #0x0FFC   ; stack pointer below the segment base
+      push r1
+      halt
+    |} in
+  let loaded = Image.load ~stack_size:256 image ~base:0x1000 ~size:0x1000 ~tag:0 in
+  match Cpu.run loaded.Image.cpu ~fuel:100 with
+  | Cpu.Trapped (Cpu.Fault_trap (Cpu.Stack_fault _)) -> ()
+  | other ->
+    Alcotest.failf "expected stack fault, got %s"
+      (match other with
+      | Cpu.Trapped t -> Format.asprintf "%a" Cpu.pp_trap t
+      | Cpu.Out_of_fuel -> "out of fuel")
+
+let test_cpu_bad_tag_fault () =
+  (* Load with tag 1; a CPU expecting tag 1 runs fine, but flipping a
+     tag byte in memory triggers Bad_tag at that instruction. *)
+  let loaded = load_asm ~tag:1 {|
+      mov r1, #1
+      halt
+    |} in
+  let { Image.cpu; memory; layout } = loaded in
+  (* Corrupt the tag of the second instruction. *)
+  Memory.store_byte memory (layout.Image.code_start + Isa.instr_size) 0;
+  match Cpu.run cpu ~fuel:10 with
+  | Cpu.Trapped (Cpu.Fault_trap (Cpu.Bad_tag { found = 0; expected = 1; _ })) -> ()
+  | _ -> Alcotest.fail "expected bad tag"
+
+let test_cpu_indirect_jump () =
+  let loaded =
+    load_asm {|
+      la r1, target
+      jmpr r1
+      halt            ; skipped
+    target:
+      mov r2, #77
+      halt
+    |}
+  in
+  run_to_halt loaded;
+  Alcotest.(check int) "landed" 77 (Cpu.reg loaded.Image.cpu 2)
+
+let test_cpu_byte_ops () =
+  let loaded =
+    load_asm {|
+      .data
+      buf: .space 8
+      .text
+      la r1, buf
+      mov r2, #0x41
+      stb [r1+2], r2
+      ldb r3, [r1+2]
+      halt
+    |}
+  in
+  run_to_halt loaded;
+  Alcotest.(check int) "byte" 0x41 (Cpu.reg loaded.Image.cpu 3)
+
+(* ------------------------------------------------------------------ *)
+(* Image / relocation: the address-partitioning property               *)
+(* ------------------------------------------------------------------ *)
+
+let sum_program = {|
+    .data
+    vals: .word 3 9 27
+    .text
+    la r1, vals
+    mov r2, #0      ; acc
+    mov r3, #0      ; i
+    mov r4, #3
+  loop:
+    ld r5, [r1]
+    add r2, r2, r5
+    add r1, r1, #4
+    add r3, r3, #1
+    brlt r3, r4, loop
+    halt
+  |}
+
+let test_image_same_behaviour_at_two_bases () =
+  let image = Asm.assemble sum_program in
+  let run base tag =
+    let loaded = Image.load image ~base ~size:0x10000 ~tag in
+    run_to_halt loaded;
+    (Cpu.reg loaded.Image.cpu 2, Cpu.instructions_retired loaded.Image.cpu)
+  in
+  let v0 = run 0x1000 0 in
+  let v1 = run 0x80001000 1 in
+  Alcotest.(check (pair int int)) "normal equivalence" v0 v1;
+  Alcotest.(check int) "sum" 39 (fst v0)
+
+let test_image_absolute_address_disjoint () =
+  (* An absolute pointer valid for variant 0 faults in variant 1. *)
+  let image = Asm.assemble {|
+      mov r1, #0x1000
+      ld r2, [r1]
+      halt
+    |} in
+  let l0 = Image.load image ~base:0x1000 ~size:0x10000 ~tag:0 in
+  let l1 = Image.load image ~base:0x80001000 ~size:0x10000 ~tag:0 in
+  (match Cpu.run l0.Image.cpu ~fuel:100 with
+  | Cpu.Trapped Cpu.Halt_trap -> ()
+  | _ -> Alcotest.fail "variant 0 should succeed");
+  match Cpu.run l1.Image.cpu ~fuel:100 with
+  | Cpu.Trapped (Cpu.Fault_trap (Cpu.Segfault _)) -> ()
+  | _ -> Alcotest.fail "variant 1 should segfault"
+
+let test_image_too_small () =
+  let image = Asm.assemble sum_program in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Image.load image ~base:0 ~size:64 ~tag:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_image_symbols () =
+  let image = Asm.assemble sum_program in
+  let loaded = Image.load image ~base:0x4000 ~size:0x10000 ~tag:0 in
+  let addr = Image.abs_symbol loaded "vals" in
+  Alcotest.(check bool) "symbol in data region" true
+    (addr >= loaded.Image.layout.Image.data_start);
+  Alcotest.(check int) "first word" 3 (Memory.load_word loaded.Image.memory addr)
+
+let test_image_entry_label () =
+  let image =
+    Asm.assemble {|
+      .entry start
+      mov r1, #1      ; skipped: entry is below
+      halt
+    start:
+      mov r1, #2
+      halt
+    |}
+  in
+  let loaded = Image.load image ~base:0x1000 ~size:0x8000 ~tag:0 in
+  run_to_halt loaded;
+  Alcotest.(check int) "entry used" 2 (Cpu.reg loaded.Image.cpu 1)
+
+(* ------------------------------------------------------------------ *)
+(* Asm error handling                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let expect_asm_error source =
+  match Asm.assemble source with
+  | exception Asm.Error _ -> ()
+  | _ -> Alcotest.fail "expected Asm.Error"
+
+let test_asm_unknown_mnemonic () = expect_asm_error "frobnicate r1"
+let test_asm_undefined_label () = expect_asm_error "jmp nowhere"
+let test_asm_duplicate_label () = expect_asm_error "a:\n nop\na:\n nop"
+let test_asm_bad_register () = expect_asm_error "mov r16, #1"
+let test_asm_instruction_in_data () = expect_asm_error ".data\n nop"
+
+let test_asm_string_escapes () =
+  let image = Asm.assemble {|
+    .data
+    s: .asciz "a\nb"
+  |} in
+  let loaded = Image.load image ~base:0 ~size:0x8000 ~tag:0 in
+  let addr = Image.abs_symbol loaded "s" in
+  Alcotest.(check string) "escaped" "a\nb"
+    (Memory.load_cstring loaded.Image.memory ~addr ~max_len:10)
+
+let test_asm_negative_mem_offset () =
+  let loaded =
+    load_asm {|
+      .data
+      pair: .word 5 6
+      .text
+      la r1, pair
+      add r1, r1, #4
+      ld r2, [r1-4]
+      halt
+    |}
+  in
+  run_to_halt loaded;
+  Alcotest.(check int) "negative offset load" 5 (Cpu.reg loaded.Image.cpu 2)
+
+(* ------------------------------------------------------------------ *)
+(* Disasm                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_disasm_roundtrip () =
+  let loaded = load_asm "mov r1, #42\nhalt" in
+  let text =
+    Disasm.region loaded.Image.memory ~start:loaded.Image.layout.Image.code_start ~count:2
+  in
+  let contains s sub =
+    let n = String.length sub in
+    let rec scan i = i + n <= String.length s && (String.sub s i n = sub || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "mov shown" true (contains text "mov r1");
+  Alcotest.(check bool) "halt shown" true (contains text "halt")
+
+let test_disasm_unmapped () =
+  let m = Memory.create ~base:0x1000 ~size:16 in
+  match Disasm.instruction m ~addr:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "nv_vm"
+    [
+      ( "word",
+        [
+          Alcotest.test_case "mask" `Quick test_word_mask;
+          Alcotest.test_case "signed roundtrip" `Quick test_word_signed_roundtrip;
+          Alcotest.test_case "arith wraps" `Quick test_word_arith;
+          Alcotest.test_case "signed division" `Quick test_word_div_signed;
+          Alcotest.test_case "shifts" `Quick test_word_shifts;
+          Alcotest.test_case "comparisons" `Quick test_word_compare;
+          Alcotest.test_case "byte access" `Quick test_word_bytes;
+        ]
+        @ qsuite [ prop_word_xor_involution; prop_word_signed_roundtrip; prop_word_set_byte_get ]
+      );
+      ( "memory",
+        [
+          Alcotest.test_case "bounds" `Quick test_memory_bounds;
+          Alcotest.test_case "faults" `Quick test_memory_fault_on_oob;
+          Alcotest.test_case "word roundtrip LE" `Quick test_memory_word_roundtrip;
+          Alcotest.test_case "cstring" `Quick test_memory_cstring;
+          Alcotest.test_case "bytes blit" `Quick test_memory_bytes_blit;
+          Alcotest.test_case "to_offset canonicalization" `Quick test_memory_to_offset;
+          Alcotest.test_case "create invalid" `Quick test_memory_create_invalid;
+        ]
+        @ qsuite [ prop_memory_byte_roundtrip; prop_memory_word_roundtrip ] );
+      ( "isa",
+        [
+          Alcotest.test_case "encode size" `Quick test_isa_encode_size;
+          Alcotest.test_case "tag in byte 0" `Quick test_isa_tag_in_byte0;
+          Alcotest.test_case "bad register" `Quick test_isa_bad_register;
+          Alcotest.test_case "bad opcode decode" `Quick test_isa_bad_opcode_decode;
+          Alcotest.test_case "eval_cond" `Quick test_isa_eval_cond;
+        ]
+        @ qsuite [ prop_isa_roundtrip; prop_isa_cond_total_order ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_cpu_arith_program;
+          Alcotest.test_case "loop" `Quick test_cpu_loop_program;
+          Alcotest.test_case "call/ret" `Quick test_cpu_call_ret;
+          Alcotest.test_case "memory" `Quick test_cpu_memory_program;
+          Alcotest.test_case "push/pop" `Quick test_cpu_push_pop;
+          Alcotest.test_case "syscall trap and resume" `Quick test_cpu_syscall_trap_resume;
+          Alcotest.test_case "segfault on wild store" `Quick test_cpu_segfault_on_wild_store;
+          Alcotest.test_case "division fault" `Quick test_cpu_division_fault;
+          Alcotest.test_case "out of fuel" `Quick test_cpu_out_of_fuel;
+          Alcotest.test_case "stack fault" `Quick test_cpu_stack_fault_on_overflow;
+          Alcotest.test_case "bad tag fault" `Quick test_cpu_bad_tag_fault;
+          Alcotest.test_case "indirect jump" `Quick test_cpu_indirect_jump;
+          Alcotest.test_case "byte ops" `Quick test_cpu_byte_ops;
+        ] );
+      ( "image",
+        [
+          Alcotest.test_case "same behaviour at two bases" `Quick
+            test_image_same_behaviour_at_two_bases;
+          Alcotest.test_case "absolute addresses disjoint" `Quick
+            test_image_absolute_address_disjoint;
+          Alcotest.test_case "too small" `Quick test_image_too_small;
+          Alcotest.test_case "symbols" `Quick test_image_symbols;
+          Alcotest.test_case "entry label" `Quick test_image_entry_label;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "unknown mnemonic" `Quick test_asm_unknown_mnemonic;
+          Alcotest.test_case "undefined label" `Quick test_asm_undefined_label;
+          Alcotest.test_case "duplicate label" `Quick test_asm_duplicate_label;
+          Alcotest.test_case "bad register" `Quick test_asm_bad_register;
+          Alcotest.test_case "instruction in .data" `Quick test_asm_instruction_in_data;
+          Alcotest.test_case "string escapes" `Quick test_asm_string_escapes;
+          Alcotest.test_case "negative memory offset" `Quick test_asm_negative_mem_offset;
+        ] );
+      ( "disasm",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_disasm_roundtrip;
+          Alcotest.test_case "unmapped" `Quick test_disasm_unmapped;
+        ] );
+    ]
