@@ -1,0 +1,14 @@
+.PHONY: build test bench clean
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Writes BENCH_results.json in the working directory.
+bench:
+	dune exec bench/main.exe -- bench
+
+clean:
+	dune clean

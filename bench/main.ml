@@ -337,6 +337,113 @@ let report_ablation () =
   | Error e, _ | _, Error e -> Printf.printf "FAILED: %s\n" e
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_results.json: machine-readable per-configuration results      *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Nv_util.Metrics.Json
+
+let json_of_webbench (r : Nv_workload.Webbench.result) =
+  Json.Obj
+    [
+      ("requests", Json.Num (float_of_int r.Nv_workload.Webbench.requests_completed));
+      ("throughput_kb_s", Json.Num r.Nv_workload.Webbench.throughput_kb_s);
+      ("latency_ms", Json.Num r.Nv_workload.Webbench.latency_ms);
+      ("latency_p50_ms", Json.Num r.Nv_workload.Webbench.latency_p50_ms);
+      ("latency_p99_ms", Json.Num r.Nv_workload.Webbench.latency_p99_ms);
+      ("cpu_utilization", Json.Num r.Nv_workload.Webbench.cpu_utilization);
+      ("rendezvous", Json.Num (float_of_int r.Nv_workload.Webbench.rendezvous_total));
+    ]
+
+let bench_requests = 12
+
+let bench_config config =
+  match Deploy.build config with
+  | Error e -> Error e
+  | Ok sys -> (
+    match Nv_workload.Measure.profile ~requests:bench_requests sys with
+    | Error e -> Error e
+    | Ok samples ->
+      (* Monitor/kernel counters accumulated over the profiled requests
+         (real guest execution, not the queueing simulation). *)
+      let reg = Nsystem.metrics sys in
+      let counter name =
+        Json.Num
+          (float_of_int (Option.value ~default:0 (Nv_util.Metrics.find_counter reg name)))
+      in
+      let variants = Nv_core.Variation.count (Deploy.variation config) in
+      let steady = Array.sub samples 1 (Array.length samples - 1) in
+      let demand = Nv_workload.Measure.mean_demand steady in
+      let unsat =
+        Nv_workload.Webbench.run ~variants ~samples:steady Nv_workload.Webbench.unsaturated
+      in
+      let sat =
+        Nv_workload.Webbench.run ~variants ~samples:steady Nv_workload.Webbench.saturated
+      in
+      Ok
+        ( unsat,
+          sat,
+          Json.Obj
+            [
+              ("config", Json.Str (Deploy.name config));
+              ("description", Json.Str (Deploy.description config));
+              ("variants", Json.Num (float_of_int variants));
+              ("requests_profiled", Json.Num (float_of_int bench_requests));
+              ( "demand",
+                Json.Obj
+                  [
+                    ( "instructions",
+                      Json.Num (float_of_int demand.Nv_workload.Measure.instructions) );
+                    ( "rendezvous",
+                      Json.Num (float_of_int demand.Nv_workload.Measure.rendezvous) );
+                    ( "response_bytes",
+                      Json.Num (float_of_int demand.Nv_workload.Measure.response_bytes) );
+                  ] );
+              ( "monitor",
+                Json.Obj
+                  [
+                    ("rendezvous", counter "monitor.rendezvous");
+                    ("checks_performed", counter "monitor.checks.performed");
+                    ("checks_failed", counter "monitor.checks.failed");
+                    ("kernel_syscalls", counter "kernel.syscalls");
+                    ("input_bytes_replicated", counter "monitor.input_bytes_replicated");
+                    ("output_writes_checked", counter "monitor.output_writes_checked");
+                  ] );
+              ("unsaturated", json_of_webbench unsat);
+              ("saturated", json_of_webbench sat);
+              ("metrics", Nv_util.Metrics.to_json_value reg);
+            ] ))
+
+let report_bench ?(path = "BENCH_results.json") () =
+  section "BENCH: per-configuration results (JSON)";
+  let configs =
+    List.filter_map
+      (fun config ->
+        match bench_config config with
+        | Error e ->
+          Printf.printf "  %s: FAILED (%s)\n" (Deploy.name config) e;
+          None
+        | Ok (unsat, sat, json) ->
+          Printf.printf "  %s: unsat %s | sat %s\n" (Deploy.name config)
+            (Format.asprintf "%a" Nv_workload.Webbench.pp_result unsat)
+            (Format.asprintf "%a" Nv_workload.Webbench.pp_result sat);
+          Some json)
+      Deploy.all
+  in
+  let doc =
+    Json.Obj
+      [
+        ("source", Json.Str "nvariant bench harness");
+        ("requests_per_config", Json.Num (float_of_int bench_requests));
+        ("configurations", Json.List configs);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d configurations)\n" path (List.length configs)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
 
@@ -463,6 +570,7 @@ let reports =
     ("table-changes", report_changes);
     ("matrix", report_matrix);
     ("ablation", report_ablation);
+    ("bench", fun () -> report_bench ());
   ]
 
 let () =
@@ -471,6 +579,7 @@ let () =
     List.iter (fun (_, f) -> f ()) reports;
     run_micro ()
   | [ _; "micro" ] -> run_micro ()
+  | [ _; "bench"; path ] -> report_bench ~path ()
   | [ _; name ] -> (
     match List.assoc_opt name reports with
     | Some f -> f ()
@@ -479,5 +588,5 @@ let () =
         (String.concat ", " (List.map fst reports));
       exit 2)
   | _ ->
-    prerr_endline "usage: main.exe [report|micro|all]";
+    prerr_endline "usage: main.exe [report|micro|all] | bench [path]";
     exit 2

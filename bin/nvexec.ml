@@ -41,6 +41,15 @@ let no_runtime_arg =
     value & flag
     & info [ "no-runtime" ] ~doc:"Do not prepend the mini-C runtime library.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
+    & info [ "metrics" ] ~docv:"FORMAT"
+        ~doc:
+          "Dump the system's metrics registry to stderr before exiting, as \
+           $(b,text) (one metric per line) or $(b,json).")
+
 let mode_arg =
   Arg.(
     value
@@ -61,7 +70,7 @@ let read_file path =
   close_in ic;
   s
 
-let run variation file trace fuel no_runtime mode =
+let run variation file trace fuel no_runtime mode metrics =
   let source = read_file file in
   let source = if no_runtime then source else Nv_minic.Runtime.with_runtime source in
   match Nv_transform.Uid_transform.transform_source ~mode ~variation source with
@@ -77,6 +86,12 @@ let run variation file trace fuel no_runtime mode =
           Format.printf "[%s] %s@."
             (Nv_os.Syscall.name e.Nv_core.Monitor.ev_syscall)
             e.Nv_core.Monitor.ev_note);
+    let dump_metrics () =
+      match metrics with
+      | None -> ()
+      | Some format ->
+        Nv_util.Metrics.dump ~format (Nv_core.Nsystem.metrics sys) stderr
+    in
     match Nv_core.Nsystem.run ~fuel sys with
     | Nv_core.Monitor.Exited status ->
       let kernel = Nv_core.Nsystem.kernel sys in
@@ -85,21 +100,27 @@ let run variation file trace fuel no_runtime mode =
       Format.printf "[exited %d; %d instructions; %d rendezvous]@." status
         (Nv_core.Monitor.instructions_retired (Nv_core.Nsystem.monitor sys))
         (Nv_core.Monitor.rendezvous_count (Nv_core.Nsystem.monitor sys));
+      dump_metrics ();
       exit (if status land 0xFF = status then status else 1)
     | Nv_core.Monitor.Alarm reason ->
       Format.printf "ALARM: %a@." Nv_core.Alarm.pp reason;
+      dump_metrics ();
       exit 3
     | Nv_core.Monitor.Blocked_on_accept ->
       print_endline "server blocked on accept with no client; stopping";
+      dump_metrics ();
       exit 4
     | Nv_core.Monitor.Out_of_fuel ->
       print_endline "out of fuel";
+      dump_metrics ();
       exit 5)
 
 let cmd =
   let doc = "run a mini-C program as an N-variant system" in
   Cmd.v
     (Cmd.info "nvexec" ~doc)
-    Term.(const run $ variation_arg $ file_arg $ trace_arg $ fuel_arg $ no_runtime_arg $ mode_arg)
+    Term.(
+      const run $ variation_arg $ file_arg $ trace_arg $ fuel_arg $ no_runtime_arg
+      $ mode_arg $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -23,7 +23,7 @@ let program =
         return 0;
       }
       int main(void) {
-        int fd = sys_accept();
+        int fd = sys_accept(3);
         sys_close(fd);
         uid_t www = getpwnam_uid("www");   // divergent instruction counts
         int snapshot = sigcount;

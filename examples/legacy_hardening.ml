@@ -30,7 +30,7 @@ let legacy_source =
     }
 
     int main(void) {
-      int fd = sys_accept();
+      int fd = sys_accept(3);
       sys_close(fd);
       if (!drop_to(service_account)) { return 1; }
       return 0;

@@ -18,7 +18,7 @@ module Alarm = Nv_core.Alarm
 let guest_program =
   {|uid_t worker_uid = 33;
     int main(void) {
-      int fd = sys_accept();      // wait for one client
+      int fd = sys_accept(3);      // wait for one client
       sys_close(fd);
       if (seteuid(worker_uid) != 0) { return 1; }
       if (geteuid() != worker_uid) { return 2; }

@@ -52,7 +52,7 @@ let read_stored_uid sys ~variant =
    strcpy's terminating NUL. *)
 let filler_to_saved_fp = 36
 
-let conn_fd = 3 (* fds 0-2 are preopened; the first accept yields 3 *)
+let conn_fd = 4 (* fds 0-2 plus the listener at 3 are preopened; the first accept yields 4 *)
 
 let encode_instrs ~tag instrs =
   let buf = Buffer.create (List.length instrs * Isa.instr_size) in

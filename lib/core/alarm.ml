@@ -3,6 +3,12 @@ type reason =
   | Variant_halted of { variant : int }
   | Syscall_mismatch of { numbers : int array }
   | Arg_mismatch of { syscall : int; arg_index : int; values : int array }
+  | String_mismatch of {
+      syscall : int;
+      arg_index : int;
+      lengths : int array;
+      digests : int array;
+    }
   | Output_mismatch of { syscall : int; fd : int }
   | Cond_mismatch of { values : int array }
   | Exit_mismatch of { statuses : int array }
@@ -29,6 +35,11 @@ let pp ppf = function
   | Arg_mismatch { syscall; arg_index; values } ->
     Format.fprintf ppf "%s: canonical argument %d differs across variants: %a"
       (Nv_os.Syscall.name syscall) arg_index (pp_array pp_hex) values
+  | String_mismatch { syscall; arg_index; lengths; digests } ->
+    Format.fprintf ppf
+      "%s: string argument %d differs across variants: lengths %a, fnv1a %a"
+      (Nv_os.Syscall.name syscall) arg_index (pp_array pp_int) lengths
+      (pp_array pp_hex) digests
   | Output_mismatch { syscall; fd } ->
     Format.fprintf ppf "%s: variants wrote different bytes to shared fd %d"
       (Nv_os.Syscall.name syscall) fd
@@ -48,6 +59,7 @@ let short_label = function
   | Variant_halted _ -> "halt"
   | Syscall_mismatch _ -> "syscall"
   | Arg_mismatch _ -> "arg"
+  | String_mismatch _ -> "string"
   | Output_mismatch _ -> "output"
   | Cond_mismatch _ -> "cond"
   | Exit_mismatch _ -> "exit"

@@ -17,6 +17,16 @@ type reason =
       (** A (canonicalized) argument differed across variants; for UID
           arguments the values are post-[R^-1], so this is the paper's
           core detection point for corrupted UIDs. *)
+  | String_mismatch of {
+      syscall : int;
+      arg_index : int;
+      lengths : int array;
+      digests : int array;
+    }
+      (** A string argument's bytes differed across variants. Carries
+          per-variant lengths and FNV-1a digests (never the raw
+          contents, which may hold secrets) so the diagnostic
+          distinguishes divergent contents from divergent lengths. *)
   | Output_mismatch of { syscall : int; fd : int }
       (** Variants tried to write different bytes to a shared
           descriptor (e.g. a UID leaking into a log message). *)
@@ -33,4 +43,4 @@ val to_string : reason -> string
 
 val short_label : reason -> string
 (** One-word class for tables: ["fault"], ["halt"], ["syscall"],
-    ["arg"], ["output"], ["cond"], ["exit"]. *)
+    ["arg"], ["string"], ["output"], ["cond"], ["exit"]. *)

@@ -5,7 +5,7 @@ module Image = Nv_vm.Image
 module Kernel = Nv_os.Kernel
 module Syscall = Nv_os.Syscall
 module Sysabi = Nv_os.Sysabi
-
+module Metrics = Nv_util.Metrics
 
 type outcome = Exited of int | Alarm of Alarm.reason | Blocked_on_accept | Out_of_fuel
 
@@ -24,16 +24,23 @@ type t = {
   kernel : Kernel.t;
   variation : Variation.t;
   variants : Image.loaded array;
-  mutable rendezvous : int;
   mutable tracer : (event -> unit) option;
   mutable signal : pending_signal option;
-  call_histogram : (int, int) Hashtbl.t;
-  mutable input_bytes_replicated : int;
-  mutable output_writes_checked : int;
-  mutable signals_delivered : int;
+  metrics : Metrics.t;
+  calls_scope : Metrics.scope;
+  latency_scope : Metrics.scope;
+  alarms_scope : Metrics.scope;
+  rendezvous_c : Metrics.counter;
+  checks_performed : Metrics.counter;
+  checks_failed : Metrics.counter;
+  input_bytes_replicated_c : Metrics.counter;
+  output_writes_checked_c : Metrics.counter;
+  signals_delivered_c : Metrics.counter;
+  mutable last_rendezvous_instr : int;
 }
 
-let create ?(segment_size = 1 lsl 20) ?(stack_size = 64 * 1024) ~kernel ~variation images =
+let create ?metrics ?(segment_size = 1 lsl 20) ?(stack_size = 64 * 1024) ~kernel
+    ~variation images =
   let n = Variation.count variation in
   if Array.length images <> n then
     invalid_arg "Monitor.create: need exactly one image per variant";
@@ -48,17 +55,26 @@ let create ?(segment_size = 1 lsl 20) ?(stack_size = 64 * 1024) ~kernel ~variati
           ~tag:spec.Variation.tag)
       images
   in
+  let metrics = match metrics with Some m -> m | None -> Kernel.metrics kernel in
+  let scope = Metrics.scope metrics "monitor" in
+  let checks_scope = Metrics.sub scope "checks" in
   {
     kernel;
     variation;
     variants;
-    rendezvous = 0;
     tracer = None;
     signal = None;
-    call_histogram = Hashtbl.create 32;
-    input_bytes_replicated = 0;
-    output_writes_checked = 0;
-    signals_delivered = 0;
+    metrics;
+    calls_scope = Metrics.sub scope "calls";
+    latency_scope = Metrics.sub scope "latency_instr";
+    alarms_scope = Metrics.sub scope "alarms";
+    rendezvous_c = Metrics.counter scope "rendezvous";
+    checks_performed = Metrics.counter checks_scope "performed";
+    checks_failed = Metrics.counter checks_scope "failed";
+    input_bytes_replicated_c = Metrics.counter scope "input_bytes_replicated";
+    output_writes_checked_c = Metrics.counter scope "output_writes_checked";
+    signals_delivered_c = Metrics.counter scope "signals_delivered";
+    last_rendezvous_instr = 0;
   }
 
 let kernel t = t.kernel
@@ -69,15 +85,19 @@ let variant_count t = Array.length t.variants
 
 let loaded t i = t.variants.(i)
 
+let metrics t = t.metrics
+
 let instructions_retired t =
   Array.fold_left (fun acc v -> acc + Cpu.instructions_retired v.Image.cpu) 0 t.variants
 
-let rendezvous_count t = t.rendezvous
+let rendezvous_count t = Metrics.counter_value t.rendezvous_c
 
 type stats = {
   st_rendezvous : int;
   st_instructions : int array;
   st_calls : (string * int) list;
+  st_checks_performed : int;
+  st_checks_failed : int;
   st_input_bytes_replicated : int;
   st_output_writes_checked : int;
   st_signals_delivered : int;
@@ -85,15 +105,15 @@ type stats = {
 
 let stats t =
   {
-    st_rendezvous = t.rendezvous;
+    st_rendezvous = Metrics.counter_value t.rendezvous_c;
     st_instructions =
       Array.map (fun v -> Cpu.instructions_retired v.Image.cpu) t.variants;
-    st_calls =
-      Hashtbl.fold (fun n count acc -> (Syscall.name n, count) :: acc) t.call_histogram []
-      |> List.sort compare;
-    st_input_bytes_replicated = t.input_bytes_replicated;
-    st_output_writes_checked = t.output_writes_checked;
-    st_signals_delivered = t.signals_delivered;
+    st_calls = Metrics.counters_under t.metrics ~prefix:"monitor.calls.";
+    st_checks_performed = Metrics.counter_value t.checks_performed;
+    st_checks_failed = Metrics.counter_value t.checks_failed;
+    st_input_bytes_replicated = Metrics.counter_value t.input_bytes_replicated_c;
+    st_output_writes_checked = Metrics.counter_value t.output_writes_checked_c;
+    st_signals_delivered = Metrics.counter_value t.signals_delivered_c;
   }
 
 let set_tracer t f = t.tracer <- Some f
@@ -107,17 +127,36 @@ exception Alarm_exn of Alarm.reason
    the hardware would raise on copy_from_user. *)
 exception Marshal_fault of { variant : int; fault : Cpu.fault }
 
+(* Every equivalence check passes through here so the checks.performed /
+   checks.failed pair stays consistent with the alarm stream. *)
+let check t ~fail cond =
+  Metrics.incr t.checks_performed;
+  if not cond then begin
+    Metrics.incr t.checks_failed;
+    raise (Alarm_exn (fail ()))
+  end
+
 let uid_spec t i = t.variation.Variation.variants.(i).Variation.uid
+
+(* FNV-1a, 32-bit: content digest for string-divergence diagnostics
+   (never the raw bytes — they may hold secrets). *)
+let fnv1a s =
+  let h = ref 0x811C9DC5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xFFFFFFFF)
+    s;
+  !h
 
 (* ------------------------------------------------------------------ *)
 (* Argument canonicalization                                           *)
 (* ------------------------------------------------------------------ *)
 
 (* Raw register argument [index] from each variant; must be identical. *)
-let canon_int _t ~raws ~syscall ~index =
+let canon_int t ~raws ~syscall ~index =
   let values = Array.map (fun (r : Sysabi.raw) -> r.Sysabi.args.(index)) raws in
-  if not (all_equal values) then
-    raise (Alarm_exn (Alarm.Arg_mismatch { syscall; arg_index = index; values }));
+  check t
+    ~fail:(fun () -> Alarm.Arg_mismatch { syscall; arg_index = index; values })
+    (all_equal values);
   values.(0)
 
 (* UID argument: apply each variant's inverse reexpression, then check
@@ -128,8 +167,9 @@ let canon_uid t ~raws ~syscall ~index =
       (fun i (r : Sysabi.raw) -> (uid_spec t i).Reexpression.decode r.Sysabi.args.(index))
       raws
   in
-  if not (all_equal values) then
-    raise (Alarm_exn (Alarm.Arg_mismatch { syscall; arg_index = index; values }));
+  check t
+    ~fail:(fun () -> Alarm.Arg_mismatch { syscall; arg_index = index; values })
+    (all_equal values);
   values.(0)
 
 (* Pointer argument: canonicalize to a segment offset per variant. *)
@@ -145,11 +185,14 @@ let canon_ptr t ~raws ~syscall ~index =
           raise (Marshal_fault { variant = i; fault = Cpu.Segfault { addr; access } }))
       raws
   in
-  if not (all_equal offsets) then
-    raise (Alarm_exn (Alarm.Arg_mismatch { syscall; arg_index = index; values = offsets }));
+  check t
+    ~fail:(fun () -> Alarm.Arg_mismatch { syscall; arg_index = index; values = offsets })
+    (all_equal offsets);
   Array.map (fun (r : Sysabi.raw) -> r.Sysabi.args.(index)) raws
 
-(* NUL-terminated string argument: contents must be identical. *)
+(* NUL-terminated string argument: contents must be identical. The
+   failure diagnostic carries per-variant lengths and content digests
+   so divergent contents are distinguishable from divergent lengths. *)
 let canon_string t ~raws ~syscall ~index =
   let _ = canon_ptr t ~raws ~syscall ~index in
   let strings =
@@ -162,11 +205,16 @@ let canon_string t ~raws ~syscall ~index =
           raise (Marshal_fault { variant = i; fault = Cpu.Segfault { addr; access } }))
       raws
   in
-  if not (all_equal strings) then
-    raise
-      (Alarm_exn
-         (Alarm.Arg_mismatch
-            { syscall; arg_index = index; values = Array.map String.length strings }));
+  check t
+    ~fail:(fun () ->
+      Alarm.String_mismatch
+        {
+          syscall;
+          arg_index = index;
+          lengths = Array.map String.length strings;
+          digests = Array.map fnv1a strings;
+        })
+    (all_equal strings);
   strings.(0)
 
 let deliver t per_variant_results =
@@ -194,14 +242,21 @@ let trace t ~syscall ~raws note =
 (* Returns [None] to keep running, [Some outcome] to stop. *)
 let dispatch t (raws : Sysabi.raw array) =
   let syscall = raws.(0).Sysabi.number in
-  Hashtbl.replace t.call_histogram syscall
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.call_histogram syscall));
+  let name = Syscall.name syscall in
+  Metrics.incr (Metrics.counter t.calls_scope name);
+  (* Per-syscall rendezvous latency, measured in retired guest
+     instructions (all variants) since the previous rendezvous. *)
+  let now_instr = instructions_retired t in
+  Metrics.observe
+    (Metrics.histogram t.latency_scope name)
+    (float_of_int (now_instr - t.last_rendezvous_instr));
+  t.last_rendezvous_instr <- now_instr;
   let k = t.kernel in
   let continue_ = None in
   match syscall with
   | n when n = Syscall.sys_exit ->
     let statuses = Array.map (fun (r : Sysabi.raw) -> Word.to_signed r.Sysabi.args.(0)) raws in
-    if not (all_equal statuses) then raise (Alarm_exn (Alarm.Exit_mismatch { statuses }));
+    check t ~fail:(fun () -> Alarm.Exit_mismatch { statuses }) (all_equal statuses);
     trace t ~syscall ~raws (Printf.sprintf "exit(%d) checked across variants" statuses.(0));
     ignore (Kernel.sys_exit k ~status:statuses.(0));
     Some (Exited statuses.(0))
@@ -220,7 +275,7 @@ let dispatch t (raws : Sysabi.raw array) =
     let count, data = Kernel.sys_read k ~fd ~len in
     (match data with
     | Kernel.Shared_data bytes ->
-      t.input_bytes_replicated <- t.input_bytes_replicated + max 0 count;
+      Metrics.add t.input_bytes_replicated_c (max 0 count);
       trace t ~syscall ~raws
         (Printf.sprintf "read(%d): performed once, %d bytes replicated to all variants" fd
            count);
@@ -272,12 +327,13 @@ let dispatch t (raws : Sysabi.raw array) =
       deliver_same t (Word.of_signed (Kernel.sys_write k ~fd ~data:(Kernel.Per_variant chunks)))
     end
     else begin
-      if not (all_equal chunks) then begin
-        Logs.warn ~src:Nv_util.Logsrc.monitor (fun m ->
-            m "output divergence on fd %d" fd);
-        raise (Alarm_exn (Alarm.Output_mismatch { syscall; fd }))
-      end;
-      t.output_writes_checked <- t.output_writes_checked + 1;
+      (if not (all_equal chunks) then
+         Logs.warn ~src:Nv_util.Logsrc.monitor (fun m ->
+             m "output divergence on fd %d" fd));
+      check t
+        ~fail:(fun () -> Alarm.Output_mismatch { syscall; fd })
+        (all_equal chunks);
+      Metrics.incr t.output_writes_checked_c;
       trace t ~syscall ~raws
         (Printf.sprintf "write(%d): bytes checked equal, performed once" fd);
       deliver_same t (Word.of_signed (Kernel.sys_write k ~fd ~data:(Kernel.Shared_data chunks.(0))))
@@ -299,13 +355,18 @@ let dispatch t (raws : Sysabi.raw array) =
     deliver_same t (Word.of_signed (Kernel.sys_close k ~fd));
     continue_
   | n when n = Syscall.sys_accept ->
-    let fd = Kernel.sys_accept k in
+    (* The listening-fd argument is checked across variants like any
+       other descriptor argument — a corrupted fd in one variant is a
+       divergence, not something to silently ignore. *)
+    let listen_fd = Word.to_signed (canon_int t ~raws ~syscall ~index:0) in
+    let fd = Kernel.sys_accept k ~fd:listen_fd in
     if fd = Kernel.eagain then begin
       Array.iter (fun v -> Sysabi.retry_syscall v.Image.cpu) t.variants;
       Some Blocked_on_accept
     end
     else begin
-      trace t ~syscall ~raws (Printf.sprintf "accept -> fd %d for all variants" fd);
+      trace t ~syscall ~raws
+        (Printf.sprintf "accept(%d) -> fd %d for all variants" listen_fd fd);
       deliver_same t (Word.of_signed fd);
       continue_
     end
@@ -353,7 +414,7 @@ let dispatch t (raws : Sysabi.raw array) =
     (* Table 2: condition values are plain booleans, identical in all
        variants or the variants are taking different paths. *)
     let values = Array.map (fun (r : Sysabi.raw) -> r.Sysabi.args.(0)) raws in
-    if not (all_equal values) then raise (Alarm_exn (Alarm.Cond_mismatch { values }));
+    check t ~fail:(fun () -> Alarm.Cond_mismatch { values }) (all_equal values);
     trace t ~syscall ~raws (Printf.sprintf "cond_chk(%d): paths agree" values.(0));
     deliver_same t values.(0);
     continue_
@@ -437,7 +498,7 @@ let deliver_signal t i ~handler =
   | Cpu.Out_of_fuel -> failed "handler did not terminate");
   Array.iteri (fun r value -> Cpu.set_reg cpu r value) saved_regs;
   Cpu.set_pc cpu saved_pc;
-  t.signals_delivered <- t.signals_delivered + 1
+  Metrics.incr t.signals_delivered_c
 
 let clear_if_fully_delivered t =
   match t.signal with
@@ -481,6 +542,13 @@ let run_variant_to_trap t i ~fuel =
 (* Lockstep execution                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* Every alarm leaving [run] passes through here so the per-reason
+   alarm counters cover all production sites. *)
+let alarmed t reason =
+  Metrics.incr (Metrics.counter t.alarms_scope (Alarm.short_label reason));
+  Logs.info ~src:Nv_util.Logsrc.monitor (fun m -> m "alarm: %a" Alarm.pp reason);
+  Alarm reason
+
 let run ?(fuel = 50_000_000) t =
   let deadline = instructions_retired t + fuel in
   let rec loop () =
@@ -496,9 +564,7 @@ let run ?(fuel = 50_000_000) t =
             | Cpu.Out_of_fuel -> None)
           t.variants
       with
-      | exception Alarm_exn reason ->
-        Logs.info ~src:Nv_util.Logsrc.monitor (fun m -> m "alarm: %a" Alarm.pp reason);
-        Alarm reason
+      | exception Alarm_exn reason -> alarmed t reason
       | traps ->
       if Array.exists Option.is_none traps then Out_of_fuel
       else begin
@@ -516,11 +582,9 @@ let run ?(fuel = 50_000_000) t =
             end)
           traps;
         match !alarm with
-        | Some reason ->
-          Logs.info ~src:Nv_util.Logsrc.monitor (fun m -> m "alarm: %a" Alarm.pp reason);
-          Alarm reason
+        | Some reason -> alarmed t reason
         | None -> (
-          t.rendezvous <- t.rendezvous + 1;
+          Metrics.incr t.rendezvous_c;
           (* Synchronized signal delivery: every variant is parked at an
              equivalent rendezvous point (trapped, pc already past the
              syscall instruction, trap context preserved by the
@@ -543,22 +607,22 @@ let run ?(fuel = 50_000_000) t =
             | Some _ | None -> Ok ()
           in
           match delivery with
-          | Error reason ->
-            Logs.info ~src:Nv_util.Logsrc.monitor (fun m -> m "alarm: %a" Alarm.pp reason);
-            Alarm reason
+          | Error reason -> alarmed t reason
           | Ok () ->
           let raws = Array.map (fun v -> Sysabi.of_cpu v.Image.cpu) t.variants in
           let numbers = Array.map (fun (r : Sysabi.raw) -> r.Sysabi.number) raws in
-          if not (all_equal numbers) then Alarm (Alarm.Syscall_mismatch { numbers })
+          Metrics.incr t.checks_performed;
+          if not (all_equal numbers) then begin
+            Metrics.incr t.checks_failed;
+            alarmed t (Alarm.Syscall_mismatch { numbers })
+          end
           else begin
             match dispatch t raws with
             | None -> loop ()
             | Some outcome -> outcome
-            | exception Alarm_exn reason ->
-              Logs.info ~src:Nv_util.Logsrc.monitor (fun m -> m "alarm: %a" Alarm.pp reason);
-              Alarm reason
+            | exception Alarm_exn reason -> alarmed t reason
             | exception Marshal_fault { variant; fault } ->
-              Alarm (Alarm.Variant_fault { variant; fault })
+              alarmed t (Alarm.Variant_fault { variant; fault })
           end)
       end
     end

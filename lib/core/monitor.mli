@@ -35,6 +35,7 @@ type event = {
 type t
 
 val create :
+  ?metrics:Nv_util.Metrics.t ->
   ?segment_size:int ->
   ?stack_size:int ->
   kernel:Nv_os.Kernel.t ->
@@ -46,7 +47,9 @@ val create :
     unshared paths with the kernel. [images] must have exactly one
     image per variant (pass the same image several times for
     non-data-diversity variations); the kernel must have been created
-    with a matching [~variants] count. Default segment size 1 MiB. *)
+    with a matching [~variants] count. Default segment size 1 MiB.
+    [metrics] is the registry the monitor reports into; by default it
+    shares the kernel's, so one registry covers the whole system. *)
 
 val kernel : t -> Nv_os.Kernel.t
 val variation : t -> Variation.t
@@ -68,10 +71,23 @@ val instructions_retired : t -> int
 val rendezvous_count : t -> int
 (** Syscall rendezvous points so far (each costs one monitor check). *)
 
+val metrics : t -> Nv_util.Metrics.t
+(** The registry this monitor reports into (shared with its kernel by
+    default). Monitor metrics: [monitor.rendezvous],
+    [monitor.calls.<name>], [monitor.checks.performed],
+    [monitor.checks.failed], [monitor.alarms.<label>],
+    [monitor.latency_instr.<name>] (histogram of retired instructions
+    between rendezvous), [monitor.input_bytes_replicated],
+    [monitor.output_writes_checked], [monitor.signals_delivered]. *)
+
 type stats = {
   st_rendezvous : int;
   st_instructions : int array;  (** retired, per variant *)
   st_calls : (string * int) list;  (** rendezvous per syscall name, sorted *)
+  st_checks_performed : int;
+      (** equivalence checks evaluated (argument, output, exit, cond,
+          syscall-number) *)
+  st_checks_failed : int;  (** checks that raised an alarm *)
   st_input_bytes_replicated : int;
       (** bytes of shared input performed once and copied to every
           variant *)
@@ -81,8 +97,9 @@ type stats = {
 }
 
 val stats : t -> stats
-(** Aggregate counters since creation — the observability surface the
-    operator of an N-variant deployment would watch. *)
+(** Aggregate counters since creation — a thin view over {!metrics},
+    the observability surface the operator of an N-variant deployment
+    would watch. *)
 
 val set_tracer : t -> (event -> unit) -> unit
 (** Install a rendezvous observer (Figure 2 demo). *)

@@ -53,6 +53,8 @@ let monitor t = t.monitor
 
 let variation t = t.variation
 
+let metrics t = Monitor.metrics t.monitor
+
 let connect t = Kernel.connect t.kernel
 
 let run ?fuel t = Monitor.run ?fuel t.monitor

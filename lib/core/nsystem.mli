@@ -36,6 +36,10 @@ val kernel : t -> Nv_os.Kernel.t
 val monitor : t -> Monitor.t
 val variation : t -> Variation.t
 
+val metrics : t -> Nv_util.Metrics.t
+(** The system-wide registry (monitor and kernel report into the same
+    one). Dump it with {!Nv_util.Metrics.dump}. *)
+
 val connect : t -> Nv_os.Socket.conn
 (** Open a client connection to the guest server's listener. *)
 

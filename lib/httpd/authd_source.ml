@@ -52,7 +52,7 @@ int handle(int fd) {
 
 int main(void) {
   while (1) {
-    int fd = sys_accept();
+    int fd = sys_accept(3);
     if (fd < 0) { return 1; }
     handle(fd);
     sys_close(fd);

@@ -173,7 +173,7 @@ int main(void) {
   if (worker_uid == (uid_t)(-1)) { return 1; }
   if (worker_uid == 0) { return 2; }
   while (1) {
-    int fd = sys_accept();
+    int fd = sys_accept(3);
     if (fd < 0) { return 3; }
     handle(fd);
     sys_close(fd);

@@ -55,7 +55,7 @@ let dispatch t =
   | n when n = Syscall.sys_close ->
     return (Word.of_signed (Kernel.sys_close k ~fd:(Word.to_signed args.(0))))
   | n when n = Syscall.sys_accept ->
-    let fd = Kernel.sys_accept k in
+    let fd = Kernel.sys_accept k ~fd:(Word.to_signed args.(0)) in
     if fd = Kernel.eagain then begin
       Sysabi.retry_syscall cpu;
       Some Blocked_on_accept

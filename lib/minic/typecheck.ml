@@ -17,7 +17,7 @@ let builtins =
     ("sys_write", ([ Tint; Tptr Tchar; Tint ], Tint));
     ("sys_open", ([ Tptr Tchar; Tint ], Tint));
     ("sys_close", ([ Tint ], Tint));
-    ("sys_accept", ([], Tint));
+    ("sys_accept", ([ Tint ], Tint));
     ("getuid", ([], Tuid));
     ("geteuid", ([], Tuid));
     ("setuid", ([ Tuid ], Tint));

@@ -1,6 +1,10 @@
+module Metrics = Nv_util.Metrics
+
 let err = Nv_vm.Word.of_signed (-1)
 
 let eagain = Nv_vm.Word.of_signed (-2)
+
+let listen_fd = 3
 
 type file_desc = {
   path : string;
@@ -14,6 +18,7 @@ type desc =
   | Dcapture of Buffer.t
   | Dfile of file_desc
   | Dconn of Socket.conn
+  | Dlistener
 
 type slot = Free | Shared of desc | Unshared of desc array
 
@@ -30,32 +35,65 @@ type t = {
   unshared_paths : (string, unit) Hashtbl.t;
   mutable exit_status : int option;
   mutable syscalls : int;
+  mutable open_fds : int;
+  metrics : Metrics.t;
+  calls_scope : Metrics.scope;
+  syscalls_c : Metrics.counter;
+  shared_bytes_in : Metrics.counter;
+  shared_bytes_out : Metrics.counter;
+  unshared_bytes_in : Metrics.counter;
+  unshared_bytes_out : Metrics.counter;
+  fds_open : Metrics.gauge;
+  fds_high_water : Metrics.gauge;
 }
 
-let create ?(fd_limit = 64) ~variants vfs =
+let create ?metrics ?(fd_limit = 64) ~variants vfs =
   if variants < 1 then invalid_arg "Kernel.create: need at least one variant";
+  if fd_limit <= listen_fd then invalid_arg "Kernel.create: fd_limit too small";
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let scope = Metrics.scope metrics "kernel" in
+  let io_scope = Metrics.sub scope "io" in
+  let fds_scope = Metrics.sub scope "fds" in
   let stdout = Buffer.create 256 in
   let stderr = Buffer.create 256 in
   let fds = Array.make fd_limit Free in
   fds.(0) <- Shared Dnull;
   fds.(1) <- Shared (Dcapture stdout);
   fds.(2) <- Shared (Dcapture stderr);
-  {
-    vfs;
-    variants;
-    cred = Cred.superuser;
-    fds;
-    listener = Socket.make_listener ();
-    stdout;
-    stderr;
-    unshared_paths = Hashtbl.create 8;
-    exit_status = None;
-    syscalls = 0;
-  }
+  fds.(listen_fd) <- Shared Dlistener;
+  let t =
+    {
+      vfs;
+      variants;
+      cred = Cred.superuser;
+      fds;
+      listener = Socket.make_listener ();
+      stdout;
+      stderr;
+      unshared_paths = Hashtbl.create 8;
+      exit_status = None;
+      syscalls = 0;
+      open_fds = 4;
+      metrics;
+      calls_scope = Metrics.sub scope "calls";
+      syscalls_c = Metrics.counter scope "syscalls";
+      shared_bytes_in = Metrics.counter io_scope "shared_bytes_in";
+      shared_bytes_out = Metrics.counter io_scope "shared_bytes_out";
+      unshared_bytes_in = Metrics.counter io_scope "unshared_bytes_in";
+      unshared_bytes_out = Metrics.counter io_scope "unshared_bytes_out";
+      fds_open = Metrics.gauge fds_scope "open";
+      fds_high_water = Metrics.gauge fds_scope "high_water";
+    }
+  in
+  Metrics.set_gauge t.fds_open (float_of_int t.open_fds);
+  Metrics.max_gauge t.fds_high_water (float_of_int t.open_fds);
+  t
 
 let vfs t = t.vfs
 
 let variants t = t.variants
+
+let metrics t = t.metrics
 
 let cred t = t.cred
 
@@ -77,7 +115,15 @@ let exit_status t = t.exit_status
 
 let syscalls_executed t = t.syscalls
 
-let count t = t.syscalls <- t.syscalls + 1
+let count t name =
+  t.syscalls <- t.syscalls + 1;
+  Metrics.incr t.syscalls_c;
+  Metrics.incr (Metrics.counter t.calls_scope name)
+
+let fd_delta t delta =
+  t.open_fds <- t.open_fds + delta;
+  Metrics.set_gauge t.fds_open (float_of_int t.open_fds);
+  Metrics.max_gauge t.fds_high_water (float_of_int t.open_fds)
 
 let alloc_fd t =
   let rec scan i =
@@ -95,7 +141,7 @@ let slot t fd = if fd < 0 || fd >= Array.length t.fds then Free else t.fds.(fd)
 (* ------------------------------------------------------------------ *)
 
 let sys_exit t ~status =
-  count t;
+  count t "exit";
   t.exit_status <- Some status;
   0
 
@@ -115,7 +161,7 @@ let open_one t path flags =
     Some (Dfile { path; pos = 0; writable; append })
 
 let sys_open t ~path ~flags =
-  count t;
+  count t "open";
   match alloc_fd t with
   | None -> err
   | Some fd ->
@@ -125,6 +171,7 @@ let sys_open t ~path ~flags =
       in
       if Array.for_all Option.is_some descs then begin
         t.fds.(fd) <- Unshared (Array.map Option.get descs);
+        fd_delta t 1;
         fd
       end
       else err
@@ -134,25 +181,29 @@ let sys_open t ~path ~flags =
       | None -> err
       | Some desc ->
         t.fds.(fd) <- Shared desc;
+        fd_delta t 1;
         fd
     end
 
 let sys_close t ~fd =
-  count t;
+  count t "close";
   match slot t fd with
   | Free -> err
   | Shared (Dconn conn) ->
     Socket.server_close conn;
     t.fds.(fd) <- Free;
+    fd_delta t (-1);
     0
   | Shared _ | Unshared _ ->
     t.fds.(fd) <- Free;
+    fd_delta t (-1);
     0
 
 let read_desc t desc len =
   match desc with
   | Dnull -> ""
   | Dcapture _ -> ""
+  | Dlistener -> ""
   | Dconn conn -> Socket.server_read conn ~max:len
   | Dfile f -> (
     match Vfs.contents t.vfs ~path:f.path with
@@ -165,21 +216,24 @@ let read_desc t desc len =
       data)
 
 let sys_read t ~fd ~len =
-  count t;
+  count t "read";
   let len = max 0 len in
   match slot t fd with
   | Free -> (Nv_vm.Word.to_signed err, Shared_data "")
   | Shared desc ->
     let data = read_desc t desc len in
+    Metrics.add t.shared_bytes_in (String.length data);
     (String.length data, Shared_data data)
   | Unshared descs ->
     let chunks = Array.map (fun desc -> read_desc t desc len) descs in
+    Array.iter (fun c -> Metrics.add t.unshared_bytes_in (String.length c)) chunks;
     let n = if Array.length chunks > 0 then String.length chunks.(0) else 0 in
     (n, Per_variant chunks)
 
 let write_desc t desc bytes =
   match desc with
   | Dnull -> String.length bytes
+  | Dlistener -> Nv_vm.Word.to_signed err
   | Dcapture buf ->
     Buffer.add_string buf bytes;
     String.length bytes
@@ -193,48 +247,59 @@ let write_desc t desc bytes =
     end
 
 let sys_write t ~fd ~data =
-  count t;
+  count t "write";
   match (slot t fd, data) with
   | (Free, _) -> Nv_vm.Word.to_signed err
-  | (Shared desc, Shared_data bytes) -> write_desc t desc bytes
+  | (Shared desc, Shared_data bytes) ->
+    let result = write_desc t desc bytes in
+    if result > 0 then Metrics.add t.shared_bytes_out result;
+    result
   | (Shared desc, Per_variant chunks) ->
     (* Variants wrote different bytes to a shared descriptor; the
        monitor should have raised an alarm before getting here, but we
        fail safe by writing variant 0's bytes. *)
-    write_desc t desc (if Array.length chunks > 0 then chunks.(0) else "")
+    let result = write_desc t desc (if Array.length chunks > 0 then chunks.(0) else "") in
+    if result > 0 then Metrics.add t.shared_bytes_out result;
+    result
   | (Unshared descs, Per_variant chunks) when Array.length chunks = Array.length descs ->
     let results = Array.map2 (fun desc bytes -> write_desc t desc bytes) descs chunks in
+    Array.iter (fun r -> if r > 0 then Metrics.add t.unshared_bytes_out r) results;
     Array.fold_left min max_int results
   | (Unshared descs, Shared_data bytes) ->
     let results = Array.map (fun desc -> write_desc t desc bytes) descs in
+    Array.iter (fun r -> if r > 0 then Metrics.add t.unshared_bytes_out r) results;
     Array.fold_left min max_int results
   | (Unshared _, Per_variant _) -> Nv_vm.Word.to_signed err
 
-let sys_accept t =
-  count t;
-  match Socket.accept t.listener with
-  | None -> eagain
-  | Some conn -> (
-    match alloc_fd t with
-    | None -> err
-    | Some fd ->
-      t.fds.(fd) <- Shared (Dconn conn);
-      fd)
+let sys_accept t ~fd =
+  count t "accept";
+  match slot t fd with
+  | Shared Dlistener -> (
+    match Socket.accept t.listener with
+    | None -> eagain
+    | Some conn -> (
+      match alloc_fd t with
+      | None -> err
+      | Some fd ->
+        t.fds.(fd) <- Shared (Dconn conn);
+        fd_delta t 1;
+        fd))
+  | Free | Shared _ | Unshared _ -> err
 
 let sys_getuid t =
-  count t;
+  count t "getuid";
   t.cred.Cred.ruid
 
 let sys_geteuid t =
-  count t;
+  count t "geteuid";
   t.cred.Cred.euid
 
 let sys_getgid t =
-  count t;
+  count t "getgid";
   t.cred.Cred.rgid
 
 let sys_getegid t =
-  count t;
+  count t "getegid";
   t.cred.Cred.egid
 
 let apply_setid t result =
@@ -245,19 +310,19 @@ let apply_setid t result =
   | Error Cred.Eperm -> err
 
 let sys_setuid t ~uid =
-  count t;
+  count t "setuid";
   apply_setid t (Cred.setuid t.cred uid)
 
 let sys_seteuid t ~uid =
-  count t;
+  count t "seteuid";
   apply_setid t (Cred.seteuid t.cred uid)
 
 let sys_setgid t ~gid =
-  count t;
+  count t "setgid";
   apply_setid t (Cred.setgid t.cred gid)
 
 let sys_setegid t ~gid =
-  count t;
+  count t "setegid";
   apply_setid t (Cred.setegid t.cred gid)
 
 let fd_is_unshared t ~fd =

@@ -16,9 +16,22 @@ type data =
   | Shared_data of string  (** one I/O result distributed to all variants *)
   | Per_variant of string array  (** index i belongs to variant i *)
 
-val create : ?fd_limit:int -> variants:int -> Vfs.t -> t
+val create :
+  ?metrics:Nv_util.Metrics.t -> ?fd_limit:int -> variants:int -> Vfs.t -> t
 (** A process booted as root, with fds 0/1/2 preopened (null stdin,
-    captured stdout/stderr) and a listening socket. *)
+    captured stdout/stderr) and the listening socket preopened at
+    {!listen_fd}. [metrics] is the registry syscall/IO/fd metrics are
+    reported into (a fresh private registry by default); it is exposed
+    via {!metrics} so the monitor can share it. *)
+
+val listen_fd : int
+(** The fd (3) at which the listening socket is preopened; guests pass
+    it to [accept]. *)
+
+val metrics : t -> Nv_util.Metrics.t
+(** Registry this kernel reports into: [kernel.syscalls],
+    [kernel.calls.<name>], [kernel.io.{shared,unshared}_bytes_{in,out}],
+    [kernel.fds.open], [kernel.fds.high_water]. *)
 
 val vfs : t -> Vfs.t
 val variants : t -> int
@@ -70,10 +83,12 @@ val sys_write : t -> fd:int -> data:data -> int
 (** [Shared_data] is written once; [Per_variant] writes each variant's
     bytes to its own unshared backing file. Returns bytes written. *)
 
-val sys_accept : t -> int
-(** New fd for the oldest pending connection, [-1] if the fd table is
-    full, or {!eagain} when no connection is pending (the monitor
-    parks the system on this). *)
+val sys_accept : t -> fd:int -> int
+(** [sys_accept t ~fd] accepts on the listening descriptor [fd] (which
+    must be {!listen_fd}). Returns a new fd for the oldest pending
+    connection, [-1] if [fd] is not the listener or the fd table is
+    full, or {!eagain} when no connection is pending (the monitor parks
+    the system on this). *)
 
 val eagain : int
 (** Distinguished "would block" result (-2 as a word). *)

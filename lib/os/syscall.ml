@@ -40,7 +40,7 @@ let table =
     (2, { name = "write"; args = [ Int; Ptr_in; Len ]; ret = Ret_int });
     (3, { name = "open"; args = [ Ptr_string; Int ]; ret = Ret_int });
     (4, { name = "close"; args = [ Int ]; ret = Ret_int });
-    (5, { name = "accept"; args = []; ret = Ret_int });
+    (5, { name = "accept"; args = [ Int ]; ret = Ret_int });
     (6, { name = "getuid"; args = []; ret = Ret_uid });
     (7, { name = "geteuid"; args = []; ret = Ret_uid });
     (8, { name = "setuid"; args = [ Uid ]; ret = Ret_int });

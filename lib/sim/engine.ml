@@ -1,17 +1,35 @@
+module Metrics = Nv_util.Metrics
+
 type t = {
   mutable clock : float;
   mutable seq : int;
   queue : (unit -> unit) Heap.t;
+  metrics : Metrics.t;
+  events_executed : Metrics.counter;
+  queue_high_water : Metrics.gauge;
 }
 
-let create () = { clock = 0.0; seq = 0; queue = Heap.create () }
+let create ?metrics () =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let scope = Metrics.scope metrics "sim.engine" in
+  {
+    clock = 0.0;
+    seq = 0;
+    queue = Heap.create ();
+    metrics;
+    events_executed = Metrics.counter scope "events_executed";
+    queue_high_water = Metrics.gauge scope "queue_high_water";
+  }
 
 let now t = t.clock
+
+let metrics t = t.metrics
 
 let schedule_at t ~time f =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
   t.seq <- t.seq + 1;
-  Heap.push t.queue ~key:time ~seq:t.seq f
+  Heap.push t.queue ~key:time ~seq:t.seq f;
+  Metrics.max_gauge t.queue_high_water (float_of_int (Heap.size t.queue))
 
 let schedule_after t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
@@ -22,6 +40,7 @@ let step t =
   | None -> false
   | Some (time, _, f) ->
     t.clock <- time;
+    Metrics.incr t.events_executed;
     f ();
     true
 

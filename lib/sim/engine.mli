@@ -7,11 +7,18 @@
 
 type t
 
-val create : unit -> t
-(** Fresh engine with the clock at 0. *)
+val create : ?metrics:Nv_util.Metrics.t -> unit -> t
+(** Fresh engine with the clock at 0. Instruments the registry (a
+    private one by default) under the ["sim.engine"] scope:
+    [events_executed] (counter) and [queue_high_water] (gauge).
+    Resources created on this engine add their own
+    ["sim.resource.<name>"] metrics to the same registry. *)
 
 val now : t -> float
 (** Current simulated time in seconds. *)
+
+val metrics : t -> Nv_util.Metrics.t
+(** The registry this engine (and its resources) report into. *)
 
 val schedule_at : t -> time:float -> (unit -> unit) -> unit
 (** [schedule_at t ~time f] runs [f] when the clock reaches [time].

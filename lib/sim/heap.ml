@@ -1,6 +1,10 @@
 type 'a entry = { key : float; seq : int; value : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable len : int }
+(* Slots hold [Some entry] below [len] and [None] above it, so popped
+   values (closures, in the engine's case) become unreachable as soon
+   as they leave the heap instead of lingering in vacated slots for
+   the heap's lifetime. *)
+type 'a t = { mutable data : 'a entry option array; mutable len : int }
 
 let create () = { data = [||]; len = 0 }
 
@@ -10,11 +14,13 @@ let size t = t.len
 
 let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
-let grow t entry =
+let get t i = match t.data.(i) with Some e -> e | None -> assert false
+
+let grow t =
   let capacity = Array.length t.data in
   if t.len = capacity then begin
     let new_capacity = max 16 (2 * capacity) in
-    let data = Array.make new_capacity entry in
+    let data = Array.make new_capacity None in
     Array.blit t.data 0 data 0 t.len;
     t.data <- data
   end
@@ -22,7 +28,7 @@ let grow t entry =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less t.data.(i) t.data.(parent) then begin
+    if less (get t i) (get t parent) then begin
       let tmp = t.data.(i) in
       t.data.(i) <- t.data.(parent);
       t.data.(parent) <- tmp;
@@ -33,8 +39,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < t.len && less t.data.(left) t.data.(!smallest) then smallest := left;
-  if right < t.len && less t.data.(right) t.data.(!smallest) then smallest := right;
+  if left < t.len && less (get t left) (get t !smallest) then smallest := left;
+  if right < t.len && less (get t right) (get t !smallest) then smallest := right;
   if !smallest <> i then begin
     let tmp = t.data.(i) in
     t.data.(i) <- t.data.(!smallest);
@@ -43,27 +49,37 @@ let rec sift_down t i =
   end
 
 let push t ~key ~seq value =
-  let entry = { key; seq; value } in
-  grow t entry;
-  t.data.(t.len) <- entry;
+  grow t;
+  t.data.(t.len) <- Some { key; seq; value };
   t.len <- t.len + 1;
   sift_up t (t.len - 1)
+
+(* Halve the backing array when occupancy drops below a quarter, so a
+   burst of scheduled events does not pin its high-water capacity for
+   the rest of a long run. *)
+let shrink t =
+  let capacity = Array.length t.data in
+  if capacity > 16 && t.len * 4 < capacity then
+    t.data <- Array.sub t.data 0 (max 16 (capacity / 2))
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let root = t.data.(0) in
+    let root = get t 0 in
     t.len <- t.len - 1;
     if t.len > 0 then begin
       t.data.(0) <- t.data.(t.len);
+      t.data.(t.len) <- None;
       sift_down t 0
-    end;
+    end
+    else t.data.(0) <- None;
+    shrink t;
     Some (root.key, root.seq, root.value)
   end
 
 let peek t =
   if t.len = 0 then None
   else begin
-    let root = t.data.(0) in
+    let root = get t 0 in
     Some (root.key, root.seq, root.value)
   end

@@ -1,3 +1,5 @@
+module Metrics = Nv_util.Metrics
+
 type job = { duration : float; complete : unit -> unit }
 
 type t = {
@@ -7,21 +9,37 @@ type t = {
   mutable busy : int;
   mutable busy_time : float;
   waiting : job Queue.t;
+  jobs_completed : Metrics.counter;
+  busy_time_g : Metrics.gauge;
+  queue_high_water : Metrics.gauge;
 }
 
 let create engine ~name ~capacity =
   if capacity < 1 then invalid_arg "Resource.create: capacity must be >= 1";
-  { engine; name; capacity; busy = 0; busy_time = 0.0; waiting = Queue.create () }
+  let scope = Metrics.sub (Metrics.scope (Engine.metrics engine) "sim.resource") name in
+  {
+    engine;
+    name;
+    capacity;
+    busy = 0;
+    busy_time = 0.0;
+    waiting = Queue.create ();
+    jobs_completed = Metrics.counter scope "jobs_completed";
+    busy_time_g = Metrics.gauge scope "busy_time_s";
+    queue_high_water = Metrics.gauge scope "queue_high_water";
+  }
 
 let name t = t.name
 
 let rec start t job =
   t.busy <- t.busy + 1;
   t.busy_time <- t.busy_time +. job.duration;
+  Metrics.set_gauge t.busy_time_g t.busy_time;
   Engine.schedule_after t.engine ~delay:job.duration (fun () -> finish t job)
 
 and finish t job =
   t.busy <- t.busy - 1;
+  Metrics.incr t.jobs_completed;
   job.complete ();
   (* The completion callback may itself have submitted work; only pull
      from the queue if a slot is still free afterwards. *)
@@ -31,7 +49,11 @@ and finish t job =
 let serve t ~duration complete =
   if duration < 0.0 then invalid_arg "Resource.serve: negative duration";
   let job = { duration; complete } in
-  if t.busy < t.capacity then start t job else Queue.push job t.waiting
+  if t.busy < t.capacity then start t job
+  else begin
+    Queue.push job t.waiting;
+    Metrics.max_gauge t.queue_high_water (float_of_int (Queue.length t.waiting))
+  end
 
 let busy t = t.busy
 

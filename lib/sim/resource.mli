@@ -9,7 +9,9 @@
 type t
 
 val create : Engine.t -> name:string -> capacity:int -> t
-(** Raises [Invalid_argument] if [capacity < 1]. *)
+(** Raises [Invalid_argument] if [capacity < 1]. Reports
+    [jobs_completed], [busy_time_s], and [queue_high_water] into the
+    engine's metrics registry under ["sim.resource.<name>"]. *)
 
 val name : t -> string
 

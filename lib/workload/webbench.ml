@@ -1,5 +1,6 @@
 module Engine = Nv_sim.Engine
 module Resource = Nv_sim.Resource
+module Metrics = Nv_util.Metrics
 
 type load = { clients : int; duration_s : float }
 
@@ -11,14 +12,17 @@ type result = {
   requests_completed : int;
   throughput_kb_s : float;
   latency_ms : float;
+  latency_p50_ms : float;
   latency_p99_ms : float;
   cpu_utilization : float;
+  rendezvous_total : int;
 }
 
 let pp_result ppf r =
-  Format.fprintf ppf "%d reqs, %.0f KB/s, %.2f ms mean (%.2f ms p99), cpu %.0f%%"
-    r.requests_completed r.throughput_kb_s r.latency_ms r.latency_p99_ms
-    (100.0 *. r.cpu_utilization)
+  Format.fprintf ppf
+    "%d reqs, %.0f KB/s, %.2f ms mean (%.2f ms p50, %.2f ms p99), cpu %.0f%%, %d rendezvous"
+    r.requests_completed r.throughput_kb_s r.latency_ms r.latency_p50_ms r.latency_p99_ms
+    (100.0 *. r.cpu_utilization) r.rendezvous_total
 
 let run ?(seed = 11) ?(cost = Cost_model.default) ~variants ~samples load =
   if Array.length samples = 0 then invalid_arg "Webbench.run: no samples";
@@ -27,9 +31,22 @@ let run ?(seed = 11) ?(cost = Cost_model.default) ~variants ~samples load =
   let cpu = Resource.create engine ~name:"cpu" ~capacity:1 in
   let nic = Resource.create engine ~name:"nic" ~capacity:1 in
   let prng = Nv_util.Prng.create ~seed in
+  let latency_timer =
+    Metrics.timer
+      (Metrics.scope (Engine.metrics engine) "workload")
+      "request_latency_s"
+      ~clock:(fun () -> Engine.now engine)
+  in
   let latencies = ref [] in
   let completed = ref 0 in
   let bytes_out = ref 0 in
+  let rendezvous_total = ref 0 in
+  (* The single horizon predicate: an instant is in the measurement
+     window iff it is strictly before the horizon. Used both for
+     issuing new requests and for counting completions, so the two
+     can never disagree. ([Engine.run ~until] additionally guarantees
+     no event fires after the horizon.) *)
+  let in_window time = time < load.duration_s in
   let next_sample =
     let cursor = ref (Nv_util.Prng.int prng (Array.length samples)) in
     fun () ->
@@ -38,9 +55,10 @@ let run ?(seed = 11) ?(cost = Cost_model.default) ~variants ~samples load =
       s
   in
   let rec client_loop () =
-    if Engine.now engine < load.duration_s then begin
+    if in_window (Engine.now engine) then begin
       let sample = next_sample () in
       let started = Engine.now engine in
+      let stop_timer = Metrics.start latency_timer in
       (* Request travels to the server. *)
       Engine.schedule_after engine ~delay:(cost.Cost_model.rtt_s /. 2.0) (fun () ->
           let demand =
@@ -54,11 +72,11 @@ let run ?(seed = 11) ?(cost = Cost_model.default) ~variants ~samples load =
               Resource.serve nic ~duration:wire (fun () ->
                   Engine.schedule_after engine ~delay:(cost.Cost_model.rtt_s /. 2.0)
                     (fun () ->
-                      (* Only count requests completing inside the
-                         window, then loop. *)
-                      if Engine.now engine <= load.duration_s then begin
+                      if in_window (Engine.now engine) then begin
                         incr completed;
                         bytes_out := !bytes_out + sample.Measure.response_bytes;
+                        rendezvous_total := !rendezvous_total + sample.Measure.rendezvous;
+                        stop_timer ();
                         latencies := (Engine.now engine -. started) :: !latencies
                       end;
                       client_loop ()))))
@@ -75,6 +93,10 @@ let run ?(seed = 11) ?(cost = Cost_model.default) ~variants ~samples load =
   let latency_ms =
     if Array.length latencies = 0 then 0.0 else 1000.0 *. Nv_util.Stats.mean latencies
   in
+  let latency_p50_ms =
+    if Array.length latencies = 0 then 0.0
+    else 1000.0 *. Nv_util.Stats.percentile latencies 50.0
+  in
   let latency_p99_ms =
     if Array.length latencies = 0 then 0.0
     else 1000.0 *. Nv_util.Stats.percentile latencies 99.0
@@ -83,6 +105,8 @@ let run ?(seed = 11) ?(cost = Cost_model.default) ~variants ~samples load =
     requests_completed = !completed;
     throughput_kb_s = float_of_int !bytes_out /. 1024.0 /. load.duration_s;
     latency_ms;
+    latency_p50_ms;
     latency_p99_ms;
     cpu_utilization = Resource.utilization cpu;
+    rendezvous_total = !rendezvous_total;
   }

@@ -25,8 +25,12 @@ type result = {
   requests_completed : int;
   throughput_kb_s : float;  (** response payload KB per second *)
   latency_ms : float;  (** mean request latency *)
+  latency_p50_ms : float;
   latency_p99_ms : float;
   cpu_utilization : float;
+  rendezvous_total : int;
+      (** monitor rendezvous cost of the completed requests (sum of
+          each request's measured rendezvous count) *)
 }
 
 val pp_result : Format.formatter -> result -> unit

@@ -112,6 +112,30 @@ let test_bench_unknown_report () =
   let status, _ = run_capture "../bench/main.exe nonsense" in
   Alcotest.(check bool) "nonzero" true (status <> 0)
 
+let test_nvexec_metrics_dump () =
+  let path = write_temp_program uid_program in
+  let status, output =
+    run_capture (Printf.sprintf "../bin/nvexec.exe -v uid-diversity --metrics text %s" path)
+  in
+  Sys.remove path;
+  Alcotest.(check int) "exit 0" 0 status;
+  Alcotest.(check bool) "rendezvous counter" true (contains output "monitor.rendezvous");
+  Alcotest.(check bool) "check counter" true (contains output "monitor.checks.performed");
+  Alcotest.(check bool) "kernel counter" true (contains output "kernel.syscalls")
+
+let test_bench_results_json () =
+  let json_path = Filename.temp_file "nvcli" ".json" in
+  let status, _ = run_capture (Printf.sprintf "../bench/main.exe bench %s" json_path) in
+  Alcotest.(check int) "exit 0" 0 status;
+  let ic = open_in_bin json_path in
+  let n = in_channel_length ic in
+  let json = really_input_string ic n in
+  close_in ic;
+  Sys.remove json_path;
+  Alcotest.(check bool) "per-config throughput" true (contains json "throughput_kb_s");
+  Alcotest.(check bool) "monitor check counters" true (contains json "checks_performed");
+  Alcotest.(check bool) "all configs present" true (contains json "config4")
+
 let () =
   Alcotest.run "nv_cli"
     [
@@ -126,6 +150,7 @@ let () =
         [
           Alcotest.test_case "uid diversity" `Quick test_nvexec_uid_diversity;
           Alcotest.test_case "trace" `Quick test_nvexec_trace;
+          Alcotest.test_case "metrics dump" `Quick test_nvexec_metrics_dump;
         ] );
       ( "attack_lab",
         [
@@ -136,5 +161,6 @@ let () =
         [
           Alcotest.test_case "table1" `Quick test_bench_table1;
           Alcotest.test_case "unknown report" `Quick test_bench_unknown_report;
+          Alcotest.test_case "bench results json" `Quick test_bench_results_json;
         ] );
     ]

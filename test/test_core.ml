@@ -184,7 +184,7 @@ let test_shared_io_replicated_once () =
 let test_server_roundtrip_through_monitor () =
   let source =
     {|int main(void) {
-        int fd = sys_accept();
+        int fd = sys_accept(3);
         char buf[64];
         int n = sys_read(fd, buf, 63);
         buf[n] = '\0';
@@ -223,7 +223,7 @@ let stash_then_seteuid =
   {|uid_t stash;
     int main(void) {
       stash = getuid();
-      int fd = sys_accept();
+      int fd = sys_accept(3);
       sys_close(fd);
       if (seteuid(stash) != 0) { return 1; }
       return 0;
@@ -265,7 +265,7 @@ let test_detect_uid_value_exposure () =
     {|uid_t stash;
       int main(void) {
         stash = getuid();
-        int fd = sys_accept();
+        int fd = sys_accept(3);
         sys_close(fd);
         uid_t checked = uid_value(stash);
         if (cc_eq(checked, stash) == 0) { return 1; }
@@ -335,7 +335,7 @@ let test_detect_cond_divergence () =
   let source =
     {|int flag;
       int main(void) {
-        int fd = sys_accept();
+        int fd = sys_accept(3);
         sys_close(fd);
         if (cond_chk(flag == 0)) { return 0; }
         return 1;
@@ -357,7 +357,7 @@ let test_detect_syscall_divergence () =
   let source =
     {|int main(void) {
         int raw = (int)getuid();
-        int fd = sys_accept();
+        int fd = sys_accept(3);
         sys_close(fd);
         if (raw < 1000) {
           sys_close(0);
@@ -417,7 +417,7 @@ let test_detect_tag_corruption () =
   (* Code injection under instruction tagging: overwriting an
      instruction's tag byte (as injected code would) faults the variant
      whose expected tag no longer matches. *)
-  let source = "int main(void) { int fd = sys_accept(); sys_close(fd); return 0; }" in
+  let source = "int main(void) { int fd = sys_accept(3); sys_close(fd); return 0; }" in
   let sys = system ~variation:Variation.instruction_tagging source in
   (match Nsystem.run sys with
   | Monitor.Blocked_on_accept -> ()
@@ -442,7 +442,7 @@ let test_detect_tag_corruption () =
 let test_exit_mismatch_detected () =
   let source =
     {|int main(void) {
-        int fd = sys_accept();
+        int fd = sys_accept(3);
         sys_close(fd);
         return (int)getuid();
       }|}
@@ -466,7 +466,7 @@ let signal_program =
       return 0;
     }
     int main(void) {
-      int fd = sys_accept();
+      int fd = sys_accept(3);
       sys_close(fd);
       uid_t me = getuid();
       if (seteuid(me) != 0) { return 9; }
@@ -523,7 +523,7 @@ let divergent_signal_program =
       return 0;
     }
     int main(void) {
-      int fd = sys_accept();
+      int fd = sys_accept(3);
       sys_close(fd);
       uid_t www = getpwnam_uid("www");
       int snapshot = sigcount;
@@ -572,7 +572,7 @@ let test_signal_handler_syscall_rejected () =
         return 0;
       }
       int main(void) {
-        int fd = sys_accept();
+        int fd = sys_accept(3);
         sys_close(fd);
         return 0;
       }|}

@@ -106,7 +106,7 @@ let test_full_diversity_detects_uid_corruption () =
   let source =
     {|uid_t worker = 33;
       int main(void) {
-        int fd = sys_accept();
+        int fd = sys_accept(3);
         sys_close(fd);
         if (seteuid(worker) != 0) { return 1; }
         return 0;
@@ -127,7 +127,7 @@ let test_full_diversity_detects_uid_corruption () =
 
 let test_full_diversity_detects_tag_corruption () =
   let sys = build_transformed Variation.full_diversity
-      "int main(void) { int fd = sys_accept(); sys_close(fd); return 0; }"
+      "int main(void) { int fd = sys_accept(3); sys_close(fd); return 0; }"
   in
   (match Nsystem.run sys with
   | Monitor.Blocked_on_accept -> ()
@@ -165,7 +165,7 @@ let test_three_variants_detect_corruption () =
     {|uid_t stash;
       int main(void) {
         stash = getuid();
-        int fd = sys_accept();
+        int fd = sys_accept(3);
         sys_close(fd);
         if (seteuid(stash) != 0) { return 1; }
         return 0;

@@ -490,7 +490,7 @@ let test_gen_accept_resume () =
   let source =
     Runtime.with_runtime
       {|int main(void) {
-          int fd = sys_accept();
+          int fd = sys_accept(3);
           char buf[32];
           int n = sys_read(fd, buf, 31);
           buf[n] = '\0';

@@ -375,10 +375,10 @@ let test_kernel_shared_open_of_registered_other_path () =
 
 let test_kernel_accept_flow () =
   let k = make_kernel () in
-  Alcotest.(check int) "EAGAIN when idle" Kernel.eagain (Kernel.sys_accept k);
+  Alcotest.(check int) "EAGAIN when idle" Kernel.eagain (Kernel.sys_accept k ~fd:Kernel.listen_fd);
   let conn = Kernel.connect k in
   Socket.client_send conn "ping";
-  let fd = Kernel.sys_accept k in
+  let fd = Kernel.sys_accept k ~fd:Kernel.listen_fd in
   Alcotest.(check bool) "fd" true (fd >= 3);
   (match Kernel.sys_read k ~fd ~len:16 with
   | 4, Kernel.Shared_data "ping" -> ()
@@ -456,10 +456,11 @@ let test_kernel_fd_reuse () =
 let test_kernel_fd_exhaustion () =
   let fs = Vfs.create () in
   Vfs.install fs ~path:"/f" "x";
-  let k = Kernel.create ~fd_limit:5 ~variants:1 fs in
+  let k = Kernel.create ~fd_limit:6 ~variants:1 fs in
+  (* fd 3 is the preopened listener, so opens start at 4. *)
   let fd1 = Kernel.sys_open k ~path:"/f" ~flags:0 in
   let fd2 = Kernel.sys_open k ~path:"/f" ~flags:0 in
-  Alcotest.(check (pair int int)) "two fds" (3, 4) (fd1, fd2);
+  Alcotest.(check (pair int int)) "two fds" (4, 5) (fd1, fd2);
   Alcotest.(check int) "exhausted" (Nv_vm.Word.of_signed (-1))
     (Kernel.sys_open k ~path:"/f" ~flags:0)
 

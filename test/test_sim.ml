@@ -51,6 +51,37 @@ let test_heap_peek_stable () =
   | None -> Alcotest.fail "peek empty");
   Alcotest.(check int) "size unchanged" 2 (Heap.size h)
 
+(* Popped slots must not pin their values: a heap that keeps popped
+   entries reachable in its backing array leaks every event closure the
+   engine ever executed. *)
+let test_heap_pop_releases () =
+  let h = Heap.create () in
+  let weak = Weak.create 1 in
+  (* Allocate the value inside a function so no local keeps it alive. *)
+  let push_tracked () =
+    let v = ref (String.make 64 'x') in
+    Weak.set weak 0 (Some v);
+    Heap.push h ~key:1.0 ~seq:1 v
+  in
+  push_tracked ();
+  ignore (Heap.pop h);
+  Gc.full_major ();
+  Alcotest.(check bool) "popped value collected" false (Weak.check weak 0)
+
+let test_heap_shrinks () =
+  let h = Heap.create () in
+  for i = 1 to 1000 do
+    Heap.push h ~key:(float_of_int i) ~seq:i i
+  done;
+  for _ = 1 to 1000 do
+    ignore (Heap.pop h)
+  done;
+  Alcotest.(check int) "drained" 0 (Heap.size h);
+  (* Still usable after the internal shrink. *)
+  Heap.push h ~key:1.0 ~seq:1 42;
+  Alcotest.(check bool) "usable after shrink" true
+    (match Heap.pop h with Some (_, _, 42) -> true | _ -> false)
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap pops in nondecreasing key order" ~count:300
     QCheck.(list (float_range 0.0 1000.0))
@@ -247,6 +278,8 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "peek stable" `Quick test_heap_peek_stable;
+          Alcotest.test_case "pop releases values" `Quick test_heap_pop_releases;
+          Alcotest.test_case "shrinks after drain" `Quick test_heap_shrinks;
         ]
         @ qsuite [ prop_heap_sorts; prop_heap_size ] );
       ( "engine",

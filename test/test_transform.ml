@@ -264,7 +264,7 @@ let test_e2e_detects_constant_corruption () =
   let source =
     {|uid_t worker_uid = 33;
       int main(void) {
-        int fd = sys_accept();
+        int fd = sys_accept(3);
         sys_close(fd);
         if (seteuid(worker_uid) != 0) { return 1; }
         return 0;
@@ -298,7 +298,7 @@ let test_e2e_cc_catches_comparison_corruption () =
   let source =
     {|uid_t admin = 0;
       int main(void) {
-        int fd = sys_accept();
+        int fd = sys_accept(3);
         sys_close(fd);
         if (geteuid() == admin) { return 0; }
         return 1;

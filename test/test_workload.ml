@@ -96,6 +96,19 @@ let test_webbench_deterministic () =
   in
   Alcotest.(check bool) "same result" true (run () = run ())
 
+(* Regression pin for the horizon-accounting fix: the issue/completion
+   window predicate is now a single [time < duration]; these exact
+   counts for a fixed seed guard against the predicate drifting. *)
+let test_webbench_horizon_regression () =
+  let r =
+    Webbench.run ~seed:7 ~variants:2 ~samples:synthetic_samples
+      { Webbench.clients = 3; duration_s = 5.0 }
+  in
+  Alcotest.(check int) "pinned request count" 2922 r.Webbench.requests_completed;
+  Alcotest.(check int) "pinned rendezvous total" 65745 r.Webbench.rendezvous_total;
+  Alcotest.(check bool) "p50 <= mean-ish p99" true
+    (r.Webbench.latency_p50_ms <= r.Webbench.latency_p99_ms +. 1e-9)
+
 let test_webbench_saturation_increases_latency_and_throughput () =
   let unsat =
     Webbench.run ~variants:1 ~samples:synthetic_samples { Webbench.clients = 1; duration_s = 10.0 }
@@ -246,6 +259,7 @@ let () =
         [
           Alcotest.test_case "runs" `Quick test_webbench_runs;
           Alcotest.test_case "deterministic" `Quick test_webbench_deterministic;
+          Alcotest.test_case "horizon regression" `Quick test_webbench_horizon_regression;
           Alcotest.test_case "saturation" `Quick
             test_webbench_saturation_increases_latency_and_throughput;
           Alcotest.test_case "two variants slower" `Quick test_webbench_two_variants_slower;
