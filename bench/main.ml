@@ -356,6 +356,28 @@ let json_of_webbench (r : Nv_workload.Webbench.result) =
 
 let bench_requests = 12
 
+(* BENCH_results.json is shared by the deterministic [bench] report and
+   the wall-clock [hostperf] report: each updates its own top-level
+   keys and preserves the other's, so one file carries both the pinned
+   counters and the perf trajectory. *)
+let read_json_obj path =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Json.of_string s with Ok (Json.Obj fields) -> fields | Ok _ | Error _ -> []
+  end
+  else []
+
+let update_json_obj path updates =
+  let keep =
+    List.filter (fun (k, _) -> not (List.mem_assoc k updates)) (read_json_obj path)
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string (Json.Obj (keep @ updates)));
+  output_char oc '\n';
+  close_out oc
+
 let bench_config config =
   match Deploy.build config with
   | Error e -> Error e
@@ -429,19 +451,133 @@ let report_bench ?(path = "BENCH_results.json") () =
           Some json)
       Deploy.all
   in
-  let doc =
-    Json.Obj
-      [
-        ("source", Json.Str "nvariant bench harness");
-        ("requests_per_config", Json.Num (float_of_int bench_requests));
-        ("configurations", Json.List configs);
-      ]
-  in
-  let oc = open_out path in
-  output_string oc (Json.to_string doc);
-  output_char oc '\n';
-  close_out oc;
+  update_json_obj path
+    [
+      ("source", Json.Str "nvariant bench harness");
+      ("requests_per_config", Json.Num (float_of_int bench_requests));
+      ("configurations", Json.List configs);
+    ];
   Printf.printf "wrote %s (%d configurations)\n" path (List.length configs)
+
+(* ------------------------------------------------------------------ *)
+(* hostperf: host wall-clock guest-MIPS                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike every other report, hostperf measures the *host* cost of
+   running the guest: wall-clock guest-MIPS with the predecoded
+   instruction cache on vs. the reference (pre-cache) decode path, for
+   a pure interpreter microbench and for the full 2-variant monitored
+   server. *)
+
+let hostperf_loop_iters = 150_000
+
+let hostperf_program =
+  Printf.sprintf
+    {|
+      .data
+      cell: .word 0
+      .text
+      la r6, cell
+      mov r1, #0
+      mov r2, #%d
+    loop:
+      add r1, r1, #1
+      ld r3, [r6]
+      add r3, r3, r1
+      st [r6], r3
+      and r4, r3, #0xFF
+      brlt r1, r2, loop
+      halt
+    |}
+    hostperf_loop_iters
+
+let mips instructions seconds = float_of_int instructions /. max seconds 1e-9 /. 1e6
+
+(* Best of [reps] runs, to shed warm-up and scheduler noise. *)
+let interp_hostperf ~icache ~reps =
+  let image = Nv_vm.Asm.assemble hostperf_program in
+  let instructions = ref 0 in
+  let best = ref 0. in
+  for _ = 1 to reps do
+    let loaded = Nv_vm.Image.load image ~base:0x1000 ~size:(1 lsl 20) ~tag:0 in
+    Nv_vm.Memory.set_icache_enabled loaded.Nv_vm.Image.memory icache;
+    let t0 = Unix.gettimeofday () in
+    (match Nv_vm.Cpu.run loaded.Nv_vm.Image.cpu ~fuel:10_000_000 with
+    | Nv_vm.Cpu.Trapped Nv_vm.Cpu.Halt_trap -> ()
+    | _ -> failwith "hostperf: interpreter microbench did not halt");
+    let dt = Unix.gettimeofday () -. t0 in
+    instructions := Nv_vm.Cpu.instructions_retired loaded.Nv_vm.Image.cpu;
+    best := Float.max !best (mips !instructions dt)
+  done;
+  (!instructions, !best)
+
+let monitor_hostperf ~icache ~requests =
+  match Deploy.build Deploy.Two_variant_uid with
+  | Error e -> failwith e
+  | Ok sys ->
+    let monitor = Nsystem.monitor sys in
+    for i = 0 to Monitor.variant_count monitor - 1 do
+      Nv_vm.Memory.set_icache_enabled
+        (Monitor.loaded monitor i).Nv_vm.Image.memory icache
+    done;
+    let instr0 = Monitor.instructions_retired monitor in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to requests do
+      match Nsystem.serve sys (Nv_httpd.Http.get "/") with
+      | Nsystem.Served _ -> ()
+      | Nsystem.Stopped _ -> failwith "hostperf: monitored request failed"
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let instructions = Monitor.instructions_retired monitor - instr0 in
+    (instructions, mips instructions dt)
+
+let report_hostperf ?(path = "BENCH_results.json") () =
+  section "HOSTPERF: host wall-clock guest-MIPS (interpreter and 2-variant monitor)";
+  let interp_instr, interp_ref = interp_hostperf ~icache:false ~reps:3 in
+  let _, interp_fast = interp_hostperf ~icache:true ~reps:3 in
+  let requests = 40 in
+  let mon_instr, mon_ref = monitor_hostperf ~icache:false ~requests in
+  let _, mon_fast = monitor_hostperf ~icache:true ~requests in
+  let interp_speedup = interp_fast /. interp_ref in
+  let mon_speedup = mon_fast /. mon_ref in
+  Nv_util.Tablefmt.print
+    ~header:[ "configuration"; "guest instructions"; "reference MIPS"; "cached MIPS"; "speedup" ]
+    ~rows:
+      [
+        [
+          "interpreter microbench"; string_of_int interp_instr;
+          Printf.sprintf "%.2f" interp_ref; Printf.sprintf "%.2f" interp_fast;
+          Printf.sprintf "%.2fx" interp_speedup;
+        ];
+        [
+          Printf.sprintf "2-variant monitor (%d requests)" requests;
+          string_of_int mon_instr; Printf.sprintf "%.2f" mon_ref;
+          Printf.sprintf "%.2f" mon_fast; Printf.sprintf "%.2fx" mon_speedup;
+        ];
+      ]
+    ();
+  Printf.printf "interpreter guest-MIPS speedup vs. reference decoder: %.2fx (target >= 3x)\n"
+    interp_speedup;
+  let mode name instructions ref_mips fast_mips speedup =
+    ( name,
+      Json.Obj
+        [
+          ("instructions", Json.Num (float_of_int instructions));
+          ("reference_mips", Json.Num ref_mips);
+          ("cached_mips", Json.Num fast_mips);
+          ("speedup", Json.Num speedup);
+        ] )
+  in
+  update_json_obj path
+    [
+      ( "hostperf",
+        Json.Obj
+          [
+            mode "interpreter" interp_instr interp_ref interp_fast interp_speedup;
+            mode "monitor_2variant" mon_instr mon_ref mon_fast mon_speedup;
+          ] );
+    ];
+  Printf.printf "updated %s (hostperf)\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
@@ -571,6 +707,7 @@ let reports =
     ("matrix", report_matrix);
     ("ablation", report_ablation);
     ("bench", fun () -> report_bench ());
+    ("hostperf", fun () -> report_hostperf ());
   ]
 
 let () =
@@ -580,6 +717,7 @@ let () =
     run_micro ()
   | [ _; "micro" ] -> run_micro ()
   | [ _; "bench"; path ] -> report_bench ~path ()
+  | [ _; "hostperf"; path ] -> report_hostperf ~path ()
   | [ _; name ] -> (
     match List.assoc_opt name reports with
     | Some f -> f ()
@@ -588,5 +726,5 @@ let () =
         (String.concat ", " (List.map fst reports));
       exit 2)
   | _ ->
-    prerr_endline "usage: main.exe [report|micro|all] | bench [path]";
+    prerr_endline "usage: main.exe [report|micro|all] | bench [path] | hostperf [path]";
     exit 2

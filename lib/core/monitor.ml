@@ -37,7 +37,17 @@ type t = {
   output_writes_checked_c : Metrics.counter;
   signals_delivered_c : Metrics.counter;
   mutable last_rendezvous_instr : int;
+  (* Hot-path caches: metric handles resolved per syscall number on
+     first use (no hashtable lookup per rendezvous thereafter) and a
+     scratch array reused by the canon_* argument checks. *)
+  calls_by_number : Metrics.counter option array;
+  latency_by_number : Metrics.histogram option array;
+  canon_scratch : int array;
 }
+
+(* One slot per syscall number; numbers outside the table fall back to
+   a by-name lookup (they only occur on unknown-syscall attacks). *)
+let syscall_slots = 32
 
 let create ?metrics ?(segment_size = 1 lsl 20) ?(stack_size = 64 * 1024) ~kernel
     ~variation images =
@@ -75,7 +85,34 @@ let create ?metrics ?(segment_size = 1 lsl 20) ?(stack_size = 64 * 1024) ~kernel
     output_writes_checked_c = Metrics.counter scope "output_writes_checked";
     signals_delivered_c = Metrics.counter scope "signals_delivered";
     last_rendezvous_instr = 0;
+    calls_by_number = Array.make syscall_slots None;
+    latency_by_number = Array.make syscall_slots None;
+    canon_scratch = Array.make n 0;
   }
+
+(* Lazy per-number resolution keeps metric registration identical to
+   the by-name path: a counter exists only once its syscall occurs. *)
+let call_counter t n =
+  if n >= 0 && n < syscall_slots then begin
+    match t.calls_by_number.(n) with
+    | Some c -> c
+    | None ->
+      let c = Metrics.counter t.calls_scope (Syscall.name n) in
+      t.calls_by_number.(n) <- Some c;
+      c
+  end
+  else Metrics.counter t.calls_scope (Syscall.name n)
+
+let latency_histogram t n =
+  if n >= 0 && n < syscall_slots then begin
+    match t.latency_by_number.(n) with
+    | Some h -> h
+    | None ->
+      let h = Metrics.histogram t.latency_scope (Syscall.name n) in
+      t.latency_by_number.(n) <- Some h;
+      h
+  end
+  else Metrics.histogram t.latency_scope (Syscall.name n)
 
 let kernel t = t.kernel
 
@@ -151,43 +188,54 @@ let fnv1a s =
 (* Argument canonicalization                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* The canon_* checks write each variant's canonical value into the
+   reused [canon_scratch] array (no allocation on the all-agree path);
+   the scratch is only copied out when a mismatch alarm needs it. *)
+let scratch_all_equal t =
+  let scratch = t.canon_scratch in
+  let ok = ref true in
+  for i = 1 to Array.length scratch - 1 do
+    if scratch.(i) <> scratch.(0) then ok := false
+  done;
+  !ok
+
+let check_scratch t ~syscall ~index =
+  check t
+    ~fail:(fun () ->
+      Alarm.Arg_mismatch { syscall; arg_index = index; values = Array.copy t.canon_scratch })
+    (scratch_all_equal t)
+
 (* Raw register argument [index] from each variant; must be identical. *)
 let canon_int t ~raws ~syscall ~index =
-  let values = Array.map (fun (r : Sysabi.raw) -> r.Sysabi.args.(index)) raws in
-  check t
-    ~fail:(fun () -> Alarm.Arg_mismatch { syscall; arg_index = index; values })
-    (all_equal values);
-  values.(0)
+  let scratch = t.canon_scratch in
+  Array.iteri (fun i (r : Sysabi.raw) -> scratch.(i) <- r.Sysabi.args.(index)) raws;
+  check_scratch t ~syscall ~index;
+  scratch.(0)
 
 (* UID argument: apply each variant's inverse reexpression, then check
    the canonical values agree (Section 3.5). *)
 let canon_uid t ~raws ~syscall ~index =
-  let values =
-    Array.mapi
-      (fun i (r : Sysabi.raw) -> (uid_spec t i).Reexpression.decode r.Sysabi.args.(index))
-      raws
-  in
-  check t
-    ~fail:(fun () -> Alarm.Arg_mismatch { syscall; arg_index = index; values })
-    (all_equal values);
-  values.(0)
+  let scratch = t.canon_scratch in
+  Array.iteri
+    (fun i (r : Sysabi.raw) ->
+      scratch.(i) <- (uid_spec t i).Reexpression.decode r.Sysabi.args.(index))
+    raws;
+  check_scratch t ~syscall ~index;
+  scratch.(0)
 
 (* Pointer argument: canonicalize to a segment offset per variant. *)
 let canon_ptr t ~raws ~syscall ~index =
-  let offsets =
-    Array.mapi
-      (fun i (r : Sysabi.raw) ->
-        let addr = r.Sysabi.args.(index) in
-        let memory = t.variants.(i).Image.memory in
-        match Memory.to_offset memory addr with
-        | offset -> offset
-        | exception Memory.Fault { addr; access } ->
-          raise (Marshal_fault { variant = i; fault = Cpu.Segfault { addr; access } }))
-      raws
-  in
-  check t
-    ~fail:(fun () -> Alarm.Arg_mismatch { syscall; arg_index = index; values = offsets })
-    (all_equal offsets);
+  let scratch = t.canon_scratch in
+  Array.iteri
+    (fun i (r : Sysabi.raw) ->
+      let addr = r.Sysabi.args.(index) in
+      let memory = t.variants.(i).Image.memory in
+      match Memory.to_offset memory addr with
+      | offset -> scratch.(i) <- offset
+      | exception Memory.Fault { addr; access } ->
+        raise (Marshal_fault { variant = i; fault = Cpu.Segfault { addr; access } }))
+    raws;
+  check_scratch t ~syscall ~index;
   Array.map (fun (r : Sysabi.raw) -> r.Sysabi.args.(index)) raws
 
 (* NUL-terminated string argument: contents must be identical. The
@@ -222,7 +270,8 @@ let deliver t per_variant_results =
     (fun i result -> Sysabi.set_result t.variants.(i).Image.cpu result)
     per_variant_results
 
-let deliver_same t result = deliver t (Array.make (Array.length t.variants) result)
+let deliver_same t result =
+  Array.iter (fun v -> Sysabi.set_result v.Image.cpu result) t.variants
 
 let trace t ~syscall ~raws note =
   match t.tracer with
@@ -239,16 +288,16 @@ let trace t ~syscall ~raws note =
 (* Rendezvous dispatch                                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* Returns [None] to keep running, [Some outcome] to stop. *)
-let dispatch t (raws : Sysabi.raw array) =
+(* Returns [None] to keep running, [Some outcome] to stop. [now_instr]
+   is the caller's already-computed total of retired instructions, so
+   the dispatch path does not re-fold over the variants. *)
+let dispatch t ~now_instr (raws : Sysabi.raw array) =
   let syscall = raws.(0).Sysabi.number in
-  let name = Syscall.name syscall in
-  Metrics.incr (Metrics.counter t.calls_scope name);
+  Metrics.incr (call_counter t syscall);
   (* Per-syscall rendezvous latency, measured in retired guest
      instructions (all variants) since the previous rendezvous. *)
-  let now_instr = instructions_retired t in
   Metrics.observe
-    (Metrics.histogram t.latency_scope name)
+    (latency_histogram t syscall)
     (float_of_int (now_instr - t.last_rendezvous_instr));
   t.last_rendezvous_instr <- now_instr;
   let k = t.kernel in
@@ -551,8 +600,12 @@ let alarmed t reason =
 
 let run ?(fuel = 50_000_000) t =
   let deadline = instructions_retired t + fuel in
-  let rec loop () =
-    let remaining = deadline - instructions_retired t in
+  (* [now] is the retired-instruction total entering the iteration; it
+     is recomputed exactly once per iteration (after the variants run)
+     and threaded through, instead of folding over the variants both
+     here and in [dispatch]. *)
+  let rec loop now =
+    let remaining = deadline - now in
     if remaining <= 0 then Out_of_fuel
     else begin
       (* Run each variant to its next trap. *)
@@ -617,8 +670,9 @@ let run ?(fuel = 50_000_000) t =
             alarmed t (Alarm.Syscall_mismatch { numbers })
           end
           else begin
-            match dispatch t raws with
-            | None -> loop ()
+            let now = instructions_retired t in
+            match dispatch t ~now_instr:now raws with
+            | None -> loop now
             | Some outcome -> outcome
             | exception Alarm_exn reason -> alarmed t reason
             | exception Marshal_fault { variant; fault } ->
@@ -627,4 +681,4 @@ let run ?(fuel = 50_000_000) t =
       end
     end
   in
-  loop ()
+  loop (instructions_retired t)

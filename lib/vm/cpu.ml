@@ -46,35 +46,12 @@ let instructions_retired t = t.retired
 
 let expected_tag t = t.expected_tag
 
-let fetch t =
-  (* Fetch instr_size bytes through the Execute access path so fetch
-     faults are distinguishable from data faults. *)
-  let b = Bytes.create Isa.instr_size in
-  for i = 0 to Isa.instr_size - 1 do
-    Bytes.set b i (Char.chr (Memory.exec_byte t.memory (t.pc + i)))
-  done;
-  b
-
 let operand_value t = function Isa.Reg r -> t.regs.(r) | Isa.Imm w -> w
 
-let step t =
-  let at = t.pc in
-  match
-    let raw = fetch t in
-    match Isa.decode raw with
-    | Error _ -> Error (Bad_instruction { addr = at })
-    | Ok (tag, instr) ->
-      if tag <> t.expected_tag then
-        Error (Bad_tag { addr = at; found = tag; expected = t.expected_tag })
-      else Ok instr
-  with
-  | exception Memory.Fault { addr; access } -> Some (Fault_trap (Segfault { addr; access }))
-  | Error fault -> Some (Fault_trap fault)
-  | Ok instr -> (
-    let next = t.pc + Isa.instr_size in
-    t.retired <- t.retired + 1;
-    let exec () =
-      match instr with
+(* Execute one already-decoded instruction. Factored out of [step] so
+   the hot path allocates nothing on normal advancement. *)
+let execute t instr next =
+  match instr with
       | Isa.Nop ->
         t.pc <- next;
         None
@@ -146,27 +123,38 @@ let step t =
         t.regs.(sp_index) <- Word.add sp 4;
         t.pc <- next;
         None
-      | Isa.Syscall ->
-        t.pc <- next;
-        Some Syscall_trap
-    in
-    match exec () with
-    | exception Memory.Fault { addr; access } ->
-      t.retired <- t.retired - 1;
-      let fault =
-        match instr with
-        | Isa.Push _ | Isa.Pop _ | Isa.Call _ | Isa.Callr _ | Isa.Ret ->
-          Stack_fault { addr }
-        | Isa.Nop | Isa.Halt | Isa.Mov _ | Isa.Load _ | Isa.Store _ | Isa.Loadb _
-        | Isa.Storeb _ | Isa.Binop _ | Isa.Setcc _ | Isa.Br _ | Isa.Jmp _
-        | Isa.Jmpr _ | Isa.Syscall ->
-          Segfault { addr; access }
-      in
-      Some (Fault_trap fault)
-    | exception Division_by_zero ->
-      t.retired <- t.retired - 1;
-      Some (Fault_trap (Division_fault { addr = at }))
-    | result -> result)
+  | Isa.Syscall ->
+    t.pc <- next;
+    Some Syscall_trap
+
+let step t =
+  let at = t.pc in
+  match Memory.fetch_decoded t.memory at with
+  | exception Memory.Fault { addr; access } -> Some (Fault_trap (Segfault { addr; access }))
+  | Error _ -> Some (Fault_trap (Bad_instruction { addr = at }))
+  | Ok (tag, instr) ->
+    if tag <> t.expected_tag then
+      Some (Fault_trap (Bad_tag { addr = at; found = tag; expected = t.expected_tag }))
+    else begin
+      t.retired <- t.retired + 1;
+      match execute t instr (at + Isa.instr_size) with
+      | exception Memory.Fault { addr; access } ->
+        t.retired <- t.retired - 1;
+        let fault =
+          match instr with
+          | Isa.Push _ | Isa.Pop _ | Isa.Call _ | Isa.Callr _ | Isa.Ret ->
+            Stack_fault { addr }
+          | Isa.Nop | Isa.Halt | Isa.Mov _ | Isa.Load _ | Isa.Store _ | Isa.Loadb _
+          | Isa.Storeb _ | Isa.Binop _ | Isa.Setcc _ | Isa.Br _ | Isa.Jmp _
+          | Isa.Jmpr _ | Isa.Syscall ->
+            Segfault { addr; access }
+        in
+        Some (Fault_trap fault)
+      | exception Division_by_zero ->
+        t.retired <- t.retired - 1;
+        Some (Fault_trap (Division_fault { addr = at }))
+      | result -> result
+    end
 
 let run t ~fuel =
   let rec loop remaining =

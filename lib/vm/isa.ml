@@ -196,9 +196,10 @@ let encode ~tag instr =
   | Syscall -> set 1 op_syscall);
   b
 
-let decode b =
-  if Bytes.length b <> instr_size then invalid_arg "Isa.decode: wrong buffer size";
-  let get i = Char.code (Bytes.get b i) in
+let decode_at b ~pos =
+  if pos < 0 || pos + instr_size > Bytes.length b then
+    invalid_arg "Isa.decode_at: position out of range";
+  let get i = Char.code (Bytes.get b (pos + i)) in
   let tag = get 0 in
   let opcode = get 1 in
   let ra = get 2 lsr 4 in
@@ -249,6 +250,10 @@ let decode b =
   | o when o = op_pop -> Ok (tag, Pop ra)
   | o when o = op_syscall -> Ok (tag, Syscall)
   | o -> Error (Bad_opcode o)
+
+let decode b =
+  if Bytes.length b <> instr_size then invalid_arg "Isa.decode: wrong buffer size";
+  decode_at b ~pos:0
 
 (* ------------------------------------------------------------------ *)
 (* Pretty printing                                                     *)

@@ -69,6 +69,11 @@ val decode : Bytes.t -> (int * t, decode_error) result
 (** [decode b] reads one instruction from an [instr_size]-byte buffer
     and returns [(tag, instruction)]. *)
 
+val decode_at : Bytes.t -> pos:int -> (int * t, decode_error) result
+(** Like {!decode} but reads the [instr_size] bytes starting at [pos]
+    inside a larger buffer, without copying. Raises [Invalid_argument]
+    when the window does not fit. *)
+
 val pp : Format.formatter -> t -> unit
 (** Assembly-like rendering, e.g. [add r1, r2, #4]. *)
 

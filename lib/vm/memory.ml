@@ -2,12 +2,23 @@ type access = Read | Write | Execute
 
 exception Fault of { addr : int; access : access }
 
-type t = { base : int; size : int; data : Bytes.t }
+(* One slot per [Isa.instr_size]-aligned window of the segment. A slot
+   caches the full decode result (tag included) so the CPU's fetch path
+   is an array load; stores into the window reset it to [Not_decoded]. *)
+type icache_slot = Not_decoded | Cached of (int * Isa.t, Isa.decode_error) result
+
+type t = {
+  base : int;
+  size : int;
+  data : Bytes.t;
+  mutable icache : icache_slot array option;  (* lazily created on first fetch *)
+  mutable icache_enabled : bool;
+}
 
 let create ~base ~size =
   if base < 0 || size < 0 || base + size > 0x1_0000_0000 then
     invalid_arg "Memory.create: segment outside the 32-bit address space";
-  { base; size; data = Bytes.make size '\000' }
+  { base; size; data = Bytes.make size '\000'; icache = None; icache_enabled = true }
 
 let base t = t.base
 
@@ -17,9 +28,42 @@ let in_range t addr = addr >= t.base && addr < t.base + t.size
 
 let check t addr access = if not (in_range t addr) then raise (Fault { addr; access })
 
+(* Fault for a multi-byte access [addr, addr+len): report the first
+   out-of-range byte, exactly as the historical byte-at-a-time loops
+   did. *)
+let fault_range t addr len access =
+  let rec first i =
+    if i >= len then assert false
+    else if not (in_range t (addr + i)) then raise (Fault { addr = addr + i; access })
+    else first (i + 1)
+  in
+  first 0
+
 let to_offset t addr =
   check t addr Read;
   addr - t.base
+
+(* ------------------------------------------------------------------ *)
+(* Predecoded-instruction cache                                        *)
+(* ------------------------------------------------------------------ *)
+
+let set_icache_enabled t enabled = t.icache_enabled <- enabled
+
+(* Slot index = offset / instr_size, as a shift on the (non-negative)
+   validated offsets the hot paths pass in. *)
+let instr_shift = 3
+
+let () = assert (Isa.instr_size = 1 lsl instr_shift)
+
+let invalidate_icache t off len =
+  match t.icache with
+  | None -> ()
+  | Some cache ->
+    let lo = off lsr instr_shift in
+    let hi = min ((off + len - 1) lsr instr_shift) (Array.length cache - 1) in
+    for i = lo to hi do
+      cache.(i) <- Not_decoded
+    done
 
 let load_byte t addr =
   check t addr Read;
@@ -27,24 +71,24 @@ let load_byte t addr =
 
 let store_byte t addr b =
   check t addr Write;
-  Bytes.set t.data (addr - t.base) (Char.chr (b land 0xFF))
+  let off = addr - t.base in
+  Bytes.set t.data off (Char.chr (b land 0xFF));
+  invalidate_icache t off 1
 
 let exec_byte t addr =
   check t addr Execute;
   Char.code (Bytes.get t.data (addr - t.base))
 
 let load_word t addr =
-  let b0 = load_byte t addr in
-  let b1 = load_byte t (addr + 1) in
-  let b2 = load_byte t (addr + 2) in
-  let b3 = load_byte t (addr + 3) in
-  b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+  let off = addr - t.base in
+  if off < 0 || off + 4 > t.size then fault_range t addr 4 Read;
+  Int32.to_int (Bytes.get_int32_le t.data off) land 0xFFFFFFFF
 
 let store_word t addr w =
-  store_byte t addr (Word.byte w 0);
-  store_byte t (addr + 1) (Word.byte w 1);
-  store_byte t (addr + 2) (Word.byte w 2);
-  store_byte t (addr + 3) (Word.byte w 3)
+  let off = addr - t.base in
+  if off < 0 || off + 4 > t.size then fault_range t addr 4 Write;
+  Bytes.set_int32_le t.data off (Int32.of_int w);
+  invalidate_icache t off 4
 
 let load_bytes t ~addr ~len =
   if len < 0 then invalid_arg "Memory.load_bytes: negative length";
@@ -56,23 +100,75 @@ let store_bytes t ~addr data =
   let len = Bytes.length data in
   check t addr Write;
   if len > 0 then check t (addr + len - 1) Write;
-  Bytes.blit data 0 t.data (addr - t.base) len
+  let off = addr - t.base in
+  Bytes.blit data 0 t.data off len;
+  if len > 0 then invalidate_icache t off len
 
 let load_cstring t ~addr ~max_len =
-  let buf = Buffer.create 32 in
-  let rec scan i =
-    if i >= max_len then ()
-    else begin
-      let b = load_byte t (addr + i) in
-      if b <> 0 then begin
-        Buffer.add_char buf (Char.chr b);
-        scan (i + 1)
-      end
-    end
-  in
-  scan 0;
-  Buffer.contents buf
+  if max_len <= 0 then ""
+  else begin
+    check t addr Read;
+    let off = addr - t.base in
+    (* The scan may stop at a NUL, at [max_len], or fault at the end of
+       the segment — whichever comes first. *)
+    let window_end = min (off + max_len) t.size in
+    let rec find i = if i >= window_end then i else if Bytes.get t.data i = '\000' then i else find (i + 1) in
+    let stop = find off in
+    if stop >= window_end && window_end < off + max_len then
+      (* Ran off the segment before a NUL or the length bound. *)
+      raise (Fault { addr = t.base + t.size; access = Read });
+    Bytes.sub_string t.data off (stop - off)
+  end
 
 let store_cstring t ~addr s =
-  String.iteri (fun i c -> store_byte t (addr + i) (Char.code c)) s;
-  store_byte t (addr + String.length s) 0
+  (* Validate the whole destination (string plus NUL) before touching
+     guest memory, so a faulting store never leaves a partial write. *)
+  let len = String.length s + 1 in
+  let off = addr - t.base in
+  if off < 0 || off + len > t.size then fault_range t addr len Write;
+  Bytes.blit_string s 0 t.data off (String.length s);
+  Bytes.set t.data (off + String.length s) '\000';
+  invalidate_icache t off len
+
+(* ------------------------------------------------------------------ *)
+(* Decoded fetch                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-cache fetch path, kept as the differential-testing and
+   benchmarking reference: byte-at-a-time Execute-checked loads into a
+   fresh buffer, then a full decode. *)
+let fetch_reference t addr =
+  let b = Bytes.create Isa.instr_size in
+  for i = 0 to Isa.instr_size - 1 do
+    Bytes.set b i (Char.chr (exec_byte t (addr + i)))
+  done;
+  Isa.decode b
+
+let fetch_decoded t addr =
+  let off = addr - t.base in
+  if
+    (not t.icache_enabled)
+    || off < 0
+    || off + Isa.instr_size > t.size
+    || off land (Isa.instr_size - 1) <> 0
+  then
+    (* Disabled, out of range (faults like the byte loop), or an
+       unaligned fetch that would alias a cache slot: decode fresh. *)
+    fetch_reference t addr
+  else begin
+    let cache =
+      match t.icache with
+      | Some c -> c
+      | None ->
+        let c = Array.make ((t.size + Isa.instr_size - 1) lsr instr_shift) Not_decoded in
+        t.icache <- Some c;
+        c
+    in
+    let idx = off lsr instr_shift in
+    match cache.(idx) with
+    | Cached r -> r
+    | Not_decoded ->
+      let r = Isa.decode_at t.data ~pos:off in
+      cache.(idx) <- Cached r;
+      r
+  end

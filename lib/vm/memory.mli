@@ -47,8 +47,38 @@ val load_cstring : t -> addr:int -> max_len:int -> string
     included). Faults if it runs off the segment before terminating. *)
 
 val store_cstring : t -> addr:int -> string -> unit
-(** Write the string followed by a NUL byte. *)
+(** Write the string followed by a NUL byte. The whole destination
+    range is validated before any byte is written, so a faulting store
+    leaves guest memory untouched. *)
 
 val exec_byte : t -> int -> int
 (** Like {!load_byte} but faults carry [Execute] access, used by the
     CPU's fetch path so traces distinguish fetch faults. *)
+
+(** {1 Decoded instruction fetch}
+
+    The segment keeps a lazily filled cache of decoded instructions,
+    one slot per [Isa.instr_size]-aligned window. Every store
+    ({!store_byte}, {!store_word}, {!store_bytes}, {!store_cstring})
+    invalidates exactly the slots it overlaps, so self-modifying code
+    and injected code are re-decoded (and re-tag-checked) on their next
+    fetch — attack detection is byte-for-byte identical to the uncached
+    decoder. *)
+
+val fetch_decoded : t -> int -> (int * Isa.t, Isa.decode_error) result
+(** Decode the instruction at an absolute address, returning
+    [(tag, instruction)] from the cache when possible. Raises {!Fault}
+    with [Execute] access (at the first out-of-range byte) when the
+    [Isa.instr_size]-byte window is not fully mapped. Unaligned
+    addresses (relative to the segment base) are decoded without
+    caching. *)
+
+val fetch_reference : t -> int -> (int * Isa.t, Isa.decode_error) result
+(** The uncached reference fetch path: byte-at-a-time Execute-checked
+    loads plus a fresh decode. Used by differential tests and the
+    [hostperf] benchmark as the pre-cache baseline; semantics are
+    identical to {!fetch_decoded}. *)
+
+val set_icache_enabled : t -> bool -> unit
+(** Enable (default) or disable the decode cache; disabling routes
+    {!fetch_decoded} through {!fetch_reference}. *)

@@ -1,0 +1,287 @@
+(* Performance-PR guarantees: the predecoded-instruction cache is
+   semantically invisible.
+
+   - A randomized differential test runs generated programs (including
+     self-modifying stores into executed code) on the cached and
+     reference interpreters in lockstep and asserts identical
+     registers, traps, retired counts, and memory contents.
+   - Explicit self-modifying-code tests prove precise invalidation on
+     guest and host stores, and that injected code with a wrong
+     instruction tag still faults.
+   - A pinned regression asserts the bench report's demand/monitor
+     counters are byte-identical to the committed BENCH_results.json
+     baseline. *)
+
+open Nv_vm
+module Prng = Nv_util.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Differential: cached vs reference interpreter                       *)
+(* ------------------------------------------------------------------ *)
+
+let base = 0x10000
+
+let seg_size = 0x4000
+
+let code_len = 48 (* instructions *)
+
+let data_base = base + (code_len * Isa.instr_size)
+
+let data_size = 0x1000
+
+let gen_operand prng =
+  if Prng.bool prng then Isa.Reg (Prng.int prng 8)
+  else Isa.Imm (1 + Prng.int prng 64)
+
+let binops =
+  [| Isa.Add; Isa.Sub; Isa.Mul; Isa.Div; Isa.Mod; Isa.And; Isa.Or; Isa.Xor;
+     Isa.Shl; Isa.Shr; Isa.Sar |]
+
+let conds =
+  [| Isa.Eq; Isa.Ne; Isa.Lt; Isa.Le; Isa.Gt; Isa.Ge; Isa.Ltu; Isa.Leu; Isa.Gtu;
+     Isa.Geu |]
+
+(* Register conventions of the generated programs: r0-r7 scratch
+   values, r8/r9 pointers into the data region, r10 a pointer into the
+   code region (the self-modifying-store target), r13 the stack
+   pointer. *)
+let gen_instr prng =
+  let r () = Prng.int prng 8 in
+  let data_reg () = 8 + Prng.int prng 2 in
+  let small_off () = Prng.int prng 64 in
+  let code_target () = base + (Isa.instr_size * Prng.int prng code_len) in
+  match Prng.int prng 100 with
+  | n when n < 18 -> Isa.Mov (r (), Isa.Imm (Prng.int prng 256))
+  | n when n < 24 ->
+    Isa.Mov (data_reg (), Isa.Imm (data_base + Prng.int prng (data_size - 128)))
+  | n when n < 28 ->
+    (* Re-aim the self-modifying pointer at some instruction slot. *)
+    Isa.Mov (10, Isa.Imm (code_target ()))
+  | n when n < 44 -> Isa.Binop (Prng.pick prng binops, r (), r (), gen_operand prng)
+  | n when n < 50 -> Isa.Setcc (Prng.pick prng conds, r (), r (), gen_operand prng)
+  | n when n < 58 -> Isa.Load (r (), data_reg (), small_off ())
+  | n when n < 66 -> Isa.Store (data_reg (), small_off (), r ())
+  | n when n < 70 -> Isa.Loadb (r (), data_reg (), small_off ())
+  | n when n < 74 -> Isa.Storeb (data_reg (), small_off (), r ())
+  | n when n < 80 -> Isa.Br (Prng.pick prng conds, r (), r (), code_target ())
+  | n when n < 83 -> Isa.Jmp (code_target ())
+  | n when n < 87 -> Isa.Push (r ())
+  | n when n < 90 -> Isa.Pop (r ())
+  | n when n < 94 ->
+    (* Self-modifying store into the code region via r10. *)
+    Isa.Store (10, 0, r ())
+  | n when n < 96 -> Isa.Call (code_target ())
+  | n when n < 97 -> Isa.Ret
+  | n when n < 98 -> Isa.Jmpr (r ())
+  | _ -> Isa.Syscall
+
+let build_cpu ~icache program =
+  let memory = Memory.create ~base ~size:seg_size in
+  Array.iteri
+    (fun i instr ->
+      Memory.store_bytes memory
+        ~addr:(base + (i * Isa.instr_size))
+        (Isa.encode ~tag:0 instr))
+    program;
+  Memory.set_icache_enabled memory icache;
+  let cpu = Cpu.create memory ~pc:base ~sp:(base + seg_size) in
+  Cpu.set_reg cpu 8 (data_base + 64);
+  Cpu.set_reg cpu 9 (data_base + 512);
+  Cpu.set_reg cpu 10 (base + (8 * Isa.instr_size));
+  (cpu, memory)
+
+let trap_to_string = function
+  | None -> "running"
+  | Some trap -> Format.asprintf "%a" Cpu.pp_trap trap
+
+let check_lockstep_state ~seed ~step cached reference =
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d step %d: pc" seed step)
+    (Cpu.pc reference) (Cpu.pc cached);
+  for r = 0 to 15 do
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d step %d: r%d" seed step r)
+      (Cpu.reg reference r) (Cpu.reg cached r)
+  done;
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d step %d: retired" seed step)
+    (Cpu.instructions_retired reference)
+    (Cpu.instructions_retired cached)
+
+let run_differential ~seed ~steps =
+  let prng = Prng.create ~seed in
+  let program = Array.init code_len (fun _ -> gen_instr prng) in
+  let cached_cpu, cached_mem = build_cpu ~icache:true program in
+  let ref_cpu, ref_mem = build_cpu ~icache:false program in
+  let rec go step =
+    if step < steps then begin
+      let ct = Cpu.step cached_cpu in
+      let rt = Cpu.step ref_cpu in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d step %d: trap" seed step)
+        (trap_to_string rt) (trap_to_string ct);
+      check_lockstep_state ~seed ~step cached_cpu ref_cpu;
+      match ct with
+      | None | Some Cpu.Syscall_trap -> go (step + 1)
+      | Some Cpu.Halt_trap | Some (Cpu.Fault_trap _) -> ()
+    end
+  in
+  go 0;
+  let dump m = Bytes.to_string (Memory.load_bytes m ~addr:base ~len:seg_size) in
+  Alcotest.(check bool)
+    (Printf.sprintf "seed %d: memory identical" seed)
+    true
+    (String.equal (dump cached_mem) (dump ref_mem))
+
+let test_differential_random_programs () =
+  for seed = 1 to 40 do
+    run_differential ~seed ~steps:600
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Self-modifying code: precise invalidation                           *)
+(* ------------------------------------------------------------------ *)
+
+let le_word b pos = Int32.to_int (Bytes.get_int32_le b pos) land 0xFFFFFFFF
+
+(* A guest program that executes an instruction (filling the decode
+   cache), overwrites that instruction with its own stores, jumps back,
+   and must observe the new instruction. A stale cache would loop
+   forever. The replacement is encoded with [patch_tag], so the same
+   program doubles as the code-injection probe: a wrong tag must fault
+   exactly as without the cache. *)
+let self_modifying_source ~patch_tag =
+  let patch = Isa.encode ~tag:patch_tag (Isa.Mov (3, Isa.Imm 42)) in
+  Printf.sprintf
+    {|
+      la r1, patch
+      mov r4, #42
+    patch:
+      mov r3, #1
+      breq r3, r4, done
+      mov r2, #%d
+      st [r1], r2
+      mov r2, #%d
+      st [r1+4], r2
+      jmp patch
+    done:
+      halt
+    |}
+    (le_word patch 0) (le_word patch 4)
+
+let load_source ?(tag = 0) ~icache source =
+  let loaded = Image.load (Asm.assemble source) ~base:0x1000 ~size:0x10000 ~tag in
+  Memory.set_icache_enabled loaded.Image.memory icache;
+  loaded
+
+let test_smc_guest_store_invalidates () =
+  List.iter
+    (fun icache ->
+      let loaded = load_source ~icache (self_modifying_source ~patch_tag:0) in
+      (match Cpu.run loaded.Image.cpu ~fuel:1000 with
+      | Cpu.Trapped Cpu.Halt_trap -> ()
+      | Cpu.Trapped trap -> Alcotest.failf "unexpected trap: %a" Cpu.pp_trap trap
+      | Cpu.Out_of_fuel -> Alcotest.fail "stale decode cache: patched loop never exited");
+      Alcotest.(check int) "patched instruction executed" 42 (Cpu.reg loaded.Image.cpu 3))
+    [ true; false ]
+
+let test_smc_injected_wrong_tag_faults () =
+  (* Variant expects tag 1; the self-patch writes a tag-0 instruction
+     (the attacker does not know the tag), so re-fetching the patched
+     slot must raise Bad_tag — identically with and without the cache. *)
+  List.iter
+    (fun icache ->
+      let loaded =
+        load_source ~tag:1 ~icache (self_modifying_source ~patch_tag:0)
+      in
+      match Cpu.run loaded.Image.cpu ~fuel:1000 with
+      | Cpu.Trapped (Cpu.Fault_trap (Cpu.Bad_tag { found = 0; expected = 1; _ })) -> ()
+      | Cpu.Trapped trap -> Alcotest.failf "expected Bad_tag, got %a" Cpu.pp_trap trap
+      | Cpu.Out_of_fuel -> Alcotest.fail "expected Bad_tag, ran out of fuel")
+    [ true; false ]
+
+let test_smc_host_store_invalidates () =
+  (* Warm the cache by running to halt, then overwrite the first
+     instruction from the host side and re-run. *)
+  let loaded = load_source ~icache:true "mov r1, #1\nhalt" in
+  let { Image.cpu; memory; layout } = loaded in
+  (match Cpu.run cpu ~fuel:10 with
+  | Cpu.Trapped Cpu.Halt_trap -> ()
+  | _ -> Alcotest.fail "first run should halt");
+  Alcotest.(check int) "original value" 1 (Cpu.reg cpu 1);
+  Memory.store_bytes memory ~addr:layout.Image.code_start
+    (Isa.encode ~tag:0 (Isa.Mov (1, Isa.Imm 2)));
+  Cpu.set_pc cpu layout.Image.code_start;
+  (match Cpu.run cpu ~fuel:10 with
+  | Cpu.Trapped Cpu.Halt_trap -> ()
+  | _ -> Alcotest.fail "second run should halt");
+  Alcotest.(check int) "patched value observed" 2 (Cpu.reg cpu 1)
+
+(* ------------------------------------------------------------------ *)
+(* Pinned bench counters                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* These constants are the demand/monitor numbers of the committed
+   BENCH_results.json (bench report, 12 requests per configuration).
+   The fast path must not move them: they count guest-visible work
+   (instructions, rendezvous, checks), not host time. *)
+let pinned_bench config ~instructions ~demand_rendezvous ~monitor_rendezvous
+    ~checks_performed =
+  match Nv_httpd.Deploy.build config with
+  | Error e -> Alcotest.fail e
+  | Ok sys -> (
+    match Nv_workload.Measure.profile ~requests:12 sys with
+    | Error e -> Alcotest.fail e
+    | Ok samples ->
+      let steady = Array.sub samples 1 (Array.length samples - 1) in
+      let demand = Nv_workload.Measure.mean_demand steady in
+      Alcotest.(check int)
+        "demand instructions" instructions demand.Nv_workload.Measure.instructions;
+      Alcotest.(check int)
+        "demand rendezvous" demand_rendezvous demand.Nv_workload.Measure.rendezvous;
+      let reg = Nv_core.Nsystem.metrics sys in
+      let counter name =
+        Option.value ~default:0 (Nv_util.Metrics.find_counter reg name)
+      in
+      Alcotest.(check int)
+        "monitor.rendezvous" monitor_rendezvous (counter "monitor.rendezvous");
+      Alcotest.(check int)
+        "monitor.checks.performed" checks_performed
+        (counter "monitor.checks.performed");
+      Alcotest.(check int) "monitor.checks.failed" 0 (counter "monitor.checks.failed"))
+
+let test_pinned_two_variant_address () =
+  pinned_bench Nv_httpd.Deploy.Two_variant_address ~instructions:13498
+    ~demand_rendezvous:20 ~monitor_rendezvous:252 ~checks_performed:806
+
+let test_pinned_two_variant_uid () =
+  pinned_bench Nv_httpd.Deploy.Two_variant_uid ~instructions:13504
+    ~demand_rendezvous:21 ~monitor_rendezvous:267 ~checks_performed:872
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "nv_perf"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "cached vs reference interpreter (randomized)" `Quick
+            test_differential_random_programs;
+        ] );
+      ( "self-modifying code",
+        [
+          Alcotest.test_case "guest store invalidates decode cache" `Quick
+            test_smc_guest_store_invalidates;
+          Alcotest.test_case "injected wrong-tag code still faults" `Quick
+            test_smc_injected_wrong_tag_faults;
+          Alcotest.test_case "host store invalidates decode cache" `Quick
+            test_smc_host_store_invalidates;
+        ] );
+      ( "pinned bench counters",
+        [
+          Alcotest.test_case "config3 (address partition)" `Quick
+            test_pinned_two_variant_address;
+          Alcotest.test_case "config4 (uid diversity)" `Quick
+            test_pinned_two_variant_uid;
+        ] );
+    ]

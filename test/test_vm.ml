@@ -106,6 +106,20 @@ let test_memory_cstring () =
     (Memory.load_cstring m ~addr:4 ~max_len:3);
   Alcotest.(check int) "NUL written" 0 (Memory.load_byte m 9)
 
+let test_memory_cstring_atomic_on_fault () =
+  (* A cstring store that would run off the segment must fault on the
+     first out-of-range byte *before* writing anything, not leave a
+     partial string behind. *)
+  let m = Memory.create ~base:0 ~size:8 in
+  (try
+     Memory.store_cstring m ~addr:4 "hello";
+     Alcotest.fail "expected a fault"
+   with Memory.Fault { addr; access = Memory.Write } ->
+     Alcotest.(check int) "first out-of-range byte" 8 addr);
+  for i = 0 to 7 do
+    Alcotest.(check int) (Printf.sprintf "byte %d untouched" i) 0 (Memory.load_byte m i)
+  done
+
 let test_memory_bytes_blit () =
   let m = Memory.create ~base:0x100 ~size:32 in
   Memory.store_bytes m ~addr:0x104 (Bytes.of_string "abcd");
@@ -611,6 +625,8 @@ let () =
           Alcotest.test_case "faults" `Quick test_memory_fault_on_oob;
           Alcotest.test_case "word roundtrip LE" `Quick test_memory_word_roundtrip;
           Alcotest.test_case "cstring" `Quick test_memory_cstring;
+          Alcotest.test_case "cstring atomic on fault" `Quick
+            test_memory_cstring_atomic_on_fault;
           Alcotest.test_case "bytes blit" `Quick test_memory_bytes_blit;
           Alcotest.test_case "to_offset canonicalization" `Quick test_memory_to_offset;
           Alcotest.test_case "create invalid" `Quick test_memory_create_invalid;
