@@ -437,10 +437,20 @@ let bench_config config =
 
 let report_bench ?(path = "BENCH_results.json") () =
   section "BENCH: per-configuration results (JSON)";
+  (* The four configurations are independent systems: measure them on
+     the domain pool when NV_PARALLEL=1. bench_config is pure in the
+     host world (each call builds its own system), so the parallel
+     results are the ones the sequential loop would print. *)
+  let cells =
+    let configs = Array.of_list Deploy.all in
+    if Nv_util.Dompool.env_default () then
+      Nv_util.Dompool.map_array (Nv_util.Dompool.global ()) bench_config configs
+    else Array.map bench_config configs
+  in
   let configs =
     List.filter_map
-      (fun config ->
-        match bench_config config with
+      (fun (config, cell) ->
+        match cell with
         | Error e ->
           Printf.printf "  %s: FAILED (%s)\n" (Deploy.name config) e;
           None
@@ -449,7 +459,7 @@ let report_bench ?(path = "BENCH_results.json") () =
             (Format.asprintf "%a" Nv_workload.Webbench.pp_result unsat)
             (Format.asprintf "%a" Nv_workload.Webbench.pp_result sat);
           Some json)
-      Deploy.all
+      (List.combine Deploy.all (Array.to_list cells))
   in
   update_json_obj path
     [
@@ -531,6 +541,56 @@ let monitor_hostperf ~icache ~requests =
     let instructions = Monitor.instructions_retired monitor - instr0 in
     (instructions, mips instructions dt)
 
+(* Rendezvous-heavy microbench for domain-parallel variant execution:
+   an outer loop of cond_chk rendezvous (syscall 21) separated by pure
+   compute spins, so the monitor alternates between the barrier and
+   long independent quanta — the shape parallel mode accelerates. *)
+let parperf_rendezvous = 40
+
+let parperf_spin = 5_000
+
+let parperf_program =
+  Printf.sprintf
+    {|
+      .text
+      mov r7, #0
+      mov r8, #%d
+    outer:
+      mov r5, #0
+      mov r6, #%d
+    inner:
+      add r5, r5, #1
+      brlt r5, r6, inner
+      mov r0, #21
+      mov r1, #1
+      syscall
+      add r7, r7, #1
+      brlt r7, r8, outer
+      mov r0, #0
+      mov r1, #0
+      syscall
+    |}
+    parperf_rendezvous parperf_spin
+
+let parallel_hostperf ~variants ~parallel ~reps =
+  let image = Nv_vm.Asm.assemble parperf_program in
+  let instructions = ref 0 in
+  let best = ref 0. in
+  for _ = 1 to reps do
+    let sys =
+      Nsystem.of_one_image ~parallel ~variation:(Variation.uid_diversity_n variants)
+        image
+    in
+    let t0 = Unix.gettimeofday () in
+    (match Nsystem.run sys with
+    | Monitor.Exited 0 -> ()
+    | _ -> failwith "hostperf: parallel microbench did not exit cleanly");
+    let dt = Unix.gettimeofday () -. t0 in
+    instructions := Monitor.instructions_retired (Nsystem.monitor sys);
+    best := Float.max !best (mips !instructions dt)
+  done;
+  (!instructions, !best)
+
 let report_hostperf ?(path = "BENCH_results.json") () =
   section "HOSTPERF: host wall-clock guest-MIPS (interpreter and 2-variant monitor)";
   let interp_instr, interp_ref = interp_hostperf ~icache:false ~reps:3 in
@@ -558,6 +618,33 @@ let report_hostperf ?(path = "BENCH_results.json") () =
     ();
   Printf.printf "interpreter guest-MIPS speedup vs. reference decoder: %.2fx (target >= 3x)\n"
     interp_speedup;
+  let workers = Nv_util.Dompool.size (Nv_util.Dompool.global ()) in
+  let par_variants = [ 2; 4 ] in
+  let par_rows =
+    List.map
+      (fun variants ->
+        let instr, seq_mips = parallel_hostperf ~variants ~parallel:false ~reps:3 in
+        let _, par_mips = parallel_hostperf ~variants ~parallel:true ~reps:3 in
+        (variants, instr, seq_mips, par_mips, par_mips /. seq_mips))
+      par_variants
+  in
+  Nv_util.Tablefmt.print
+    ~header:
+      [ "configuration"; "guest instructions"; "sequential MIPS"; "parallel MIPS"; "speedup" ]
+    ~rows:
+      (List.map
+         (fun (variants, instr, seq_mips, par_mips, speedup) ->
+           [
+             Printf.sprintf "%d-variant rendezvous microbench" variants;
+             string_of_int instr; Printf.sprintf "%.2f" seq_mips;
+             Printf.sprintf "%.2f" par_mips; Printf.sprintf "%.2fx" speedup;
+           ])
+         par_rows)
+    ();
+  Printf.printf
+    "domain pool: %d worker(s) on this host (parallel speedup needs a multi-core host;\n\
+     with one worker the two modes run the same code on one domain)\n"
+    workers;
   let mode name instructions ref_mips fast_mips speedup =
     ( name,
       Json.Obj
@@ -568,14 +655,26 @@ let report_hostperf ?(path = "BENCH_results.json") () =
           ("speedup", Json.Num speedup);
         ] )
   in
+  let par_mode (variants, instructions, seq_mips, par_mips, speedup) =
+    ( Printf.sprintf "parallel_%dvariant" variants,
+      Json.Obj
+        [
+          ("instructions", Json.Num (float_of_int instructions));
+          ("sequential_mips", Json.Num seq_mips);
+          ("parallel_mips", Json.Num par_mips);
+          ("speedup", Json.Num speedup);
+          ("pool_workers", Json.Num (float_of_int workers));
+        ] )
+  in
   update_json_obj path
     [
       ( "hostperf",
         Json.Obj
-          [
-            mode "interpreter" interp_instr interp_ref interp_fast interp_speedup;
-            mode "monitor_2variant" mon_instr mon_ref mon_fast mon_speedup;
-          ] );
+          ([
+             mode "interpreter" interp_instr interp_ref interp_fast interp_speedup;
+             mode "monitor_2variant" mon_instr mon_ref mon_fast mon_speedup;
+           ]
+          @ List.map par_mode par_rows) );
     ];
   Printf.printf "updated %s (hostperf)\n" path
 

@@ -25,7 +25,17 @@ let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List attacks and exit."
 let verbose_arg =
   Arg.(value & flag & info [ "verbose" ] ~doc:"Print detailed verdicts, not just labels.")
 
-let run attack config list verbose =
+let parallel_arg =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) (Nv_util.Dompool.env_default ())
+    & info [ "parallel" ] ~docv:"on|off"
+        ~doc:
+          "Run independent attack/configuration cells (and each system's \
+           variants) on a domain pool. Defaults to the $(b,NV_PARALLEL) \
+           environment variable (1 = on). Verdicts are identical either way.")
+
+let run attack config list verbose parallel =
   if list then begin
     List.iter
       (fun a ->
@@ -45,7 +55,7 @@ let run attack config list verbose =
         exit 2)
   in
   let configs = match config with None -> Nv_httpd.Deploy.all | Some c -> [ c ] in
-  let matrix = Nv_attacks.Campaign.run_matrix ~attacks ~configs () in
+  let matrix = Nv_attacks.Campaign.run_matrix ~parallel ~attacks ~configs () in
   print_string (Nv_attacks.Campaign.render_matrix matrix);
   if verbose then
     List.iter
@@ -74,6 +84,6 @@ let run attack config list verbose =
 let cmd =
   let doc = "run data-corruption and code-injection attacks against the case-study server" in
   Cmd.v (Cmd.info "attack_lab" ~doc)
-    Term.(const run $ attack_arg $ config_arg $ list_arg $ verbose_arg)
+    Term.(const run $ attack_arg $ config_arg $ list_arg $ verbose_arg $ parallel_arg)
 
 let () = exit (Cmd.eval cmd)

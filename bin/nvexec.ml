@@ -50,6 +50,17 @@ let metrics_arg =
           "Dump the system's metrics registry to stderr before exiting, as \
            $(b,text) (one metric per line) or $(b,json).")
 
+let parallel_arg =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) (Nv_util.Dompool.env_default ())
+    & info [ "parallel" ] ~docv:"on|off"
+        ~doc:
+          "Run each variant's quantum on its own domain between rendezvous \
+           points ($(b,on)) or step variants sequentially ($(b,off)). Defaults \
+           to the $(b,NV_PARALLEL) environment variable (1 = on). Outcomes are \
+           identical either way; only wall-clock time differs.")
+
 let mode_arg =
   Arg.(
     value
@@ -70,7 +81,7 @@ let read_file path =
   close_in ic;
   s
 
-let run variation file trace fuel no_runtime mode metrics =
+let run variation file trace fuel no_runtime mode metrics parallel =
   let source = read_file file in
   let source = if no_runtime then source else Nv_minic.Runtime.with_runtime source in
   match Nv_transform.Uid_transform.transform_source ~mode ~variation source with
@@ -80,7 +91,7 @@ let run variation file trace fuel no_runtime mode metrics =
   | Ok (images, report) -> (
     Format.printf "variation: %a; transformation: %a@." Nv_core.Variation.pp variation
       Nv_transform.Uid_transform.pp_report report;
-    let sys = Nv_core.Nsystem.create ~variation images in
+    let sys = Nv_core.Nsystem.create ~parallel ~variation images in
     if trace then
       Nv_core.Monitor.set_tracer (Nv_core.Nsystem.monitor sys) (fun e ->
           Format.printf "[%s] %s@."
@@ -121,6 +132,6 @@ let cmd =
     (Cmd.info "nvexec" ~doc)
     Term.(
       const run $ variation_arg $ file_arg $ trace_arg $ fuel_arg $ no_runtime_arg
-      $ mode_arg $ metrics_arg)
+      $ mode_arg $ metrics_arg $ parallel_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -32,12 +32,14 @@ type attack = { name : string; description : string; run : Nsystem.t -> verdict 
 (* Driving helpers                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Allocation-free substring scan (responses can be tens of KB; the
+   old String.sub-per-position version allocated a fresh copy of the
+   needle-sized window at every offset). *)
 let contains haystack needle =
-  let n = String.length needle in
-  let rec scan i =
-    i + n <= String.length haystack && (String.sub haystack i n = needle || scan (i + 1))
-  in
-  scan 0
+  let h = String.length haystack and n = String.length needle in
+  let rec matches_at i j = j = n || (haystack.[i + j] = needle.[j] && matches_at i (j + 1)) in
+  let rec scan i = i <= h - n && (matches_at i 0 || scan (i + 1)) in
+  n = 0 || scan 0
 
 type step_result =
   | Response of string
@@ -204,25 +206,36 @@ let attacks =
 
 let find name = List.find_opt (fun a -> a.name = name) attacks
 
-let run_attack attack config =
-  match Deploy.build config with
+let run_attack ?parallel attack config =
+  match Deploy.build ?parallel config with
   | Error _ as e -> e
   | Ok sys -> Ok (attack.run sys)
 
 type matrix = (attack * (Deploy.config * verdict) list) list
 
-let run_matrix ?(attacks = attacks) ?(configs = Deploy.all) () =
-  List.map
-    (fun attack ->
-      let cells =
-        List.map
-          (fun config ->
-            match run_attack attack config with
-            | Ok verdict -> (config, verdict)
-            | Error message -> (config, Crashed ("build failed: " ^ message)))
-          configs
-      in
-      (attack, cells))
+(* Each (attack, config) cell builds its own fresh system, so the
+   cells are independent; under [parallel] they are fanned out on the
+   shared domain pool and reassembled in matrix order. *)
+let run_matrix ?parallel ?(attacks = attacks) ?(configs = Deploy.all) () =
+  let parallel =
+    match parallel with Some b -> b | None -> Nv_util.Dompool.env_default ()
+  in
+  let cell (attack, config) =
+    match run_attack ~parallel attack config with
+    | Ok verdict -> (config, verdict)
+    | Error message -> (config, Crashed ("build failed: " ^ message))
+  in
+  let pairs =
+    Array.of_list
+      (List.concat_map (fun a -> List.map (fun c -> (a, c)) configs) attacks)
+  in
+  let results =
+    if parallel then Nv_util.Dompool.map_array (Nv_util.Dompool.global ()) cell pairs
+    else Array.map cell pairs
+  in
+  let nconfigs = List.length configs in
+  List.mapi
+    (fun i attack -> (attack, Array.to_list (Array.sub results (i * nconfigs) nconfigs)))
     attacks
 
 let render_matrix matrix =

@@ -50,13 +50,23 @@ val attacks : attack list
 
 val find : string -> attack option
 
-val run_attack : attack -> Nv_httpd.Deploy.config -> (verdict, string) result
-(** Build the configuration fresh and run one attack. *)
+val run_attack :
+  ?parallel:bool -> attack -> Nv_httpd.Deploy.config -> (verdict, string) result
+(** Build the configuration fresh and run one attack. [parallel] as in
+    {!Nv_core.Monitor.create}. *)
 
 type matrix = (attack * (Nv_httpd.Deploy.config * verdict) list) list
 
 val run_matrix :
-  ?attacks:attack list -> ?configs:Nv_httpd.Deploy.config list -> unit -> matrix
+  ?parallel:bool ->
+  ?attacks:attack list ->
+  ?configs:Nv_httpd.Deploy.config list ->
+  unit ->
+  matrix
+(** Every attack against every configuration. Cells are independent
+    (each builds a fresh system); under [parallel] (default:
+    [NV_PARALLEL]) they run concurrently on the shared domain pool,
+    with results reassembled in deterministic matrix order. *)
 
 val render_matrix : matrix -> string
 (** Table: attacks as rows, configurations as columns. *)

@@ -6,6 +6,7 @@ module Kernel = Nv_os.Kernel
 module Syscall = Nv_os.Syscall
 module Sysabi = Nv_os.Sysabi
 module Metrics = Nv_util.Metrics
+module Dompool = Nv_util.Dompool
 
 type outcome = Exited of int | Alarm of Alarm.reason | Blocked_on_accept | Out_of_fuel
 
@@ -20,10 +21,21 @@ type pending_signal = {
   delivered : bool array;
 }
 
+(* Concurrency discipline (see docs/architecture.md, "Concurrency"):
+   between two rendezvous points each variant's [Image.loaded] (CPU,
+   memory, icache) plus its own [delivered.(i)] slot are owned by the
+   domain running that variant's quantum; everything else — the kernel,
+   the metrics registry, [t.signal], the tracer, the metric-handle
+   caches and [canon_scratch] — is only ever touched by the
+   coordinator domain, after the join. A quantum therefore performs no
+   [Metrics] mutation and never clears [t.signal]; the coordinator
+   counts deliveries by diffing the [delivered] flags across the join
+   and clears the signal itself. *)
 type t = {
   kernel : Kernel.t;
   variation : Variation.t;
   variants : Image.loaded array;
+  pool : Dompool.t option;  (* Some = run quanta on worker domains *)
   mutable tracer : (event -> unit) option;
   mutable signal : pending_signal option;
   metrics : Metrics.t;
@@ -49,8 +61,15 @@ type t = {
    a by-name lookup (they only occur on unknown-syscall attacks). *)
 let syscall_slots = 32
 
-let create ?metrics ?(segment_size = 1 lsl 20) ?(stack_size = 64 * 1024) ~kernel
-    ~variation images =
+let create ?metrics ?parallel ?pool ?(segment_size = 1 lsl 20)
+    ?(stack_size = 64 * 1024) ~kernel ~variation images =
+  let parallel =
+    match parallel with Some b -> b | None -> Dompool.env_default ()
+  in
+  let pool =
+    if not parallel then None
+    else Some (match pool with Some p -> p | None -> Dompool.global ())
+  in
   let n = Variation.count variation in
   if Array.length images <> n then
     invalid_arg "Monitor.create: need exactly one image per variant";
@@ -72,6 +91,7 @@ let create ?metrics ?(segment_size = 1 lsl 20) ?(stack_size = 64 * 1024) ~kernel
     kernel;
     variation;
     variants;
+    pool;
     tracer = None;
     signal = None;
     metrics;
@@ -115,6 +135,8 @@ let latency_histogram t n =
   else Metrics.histogram t.latency_scope (Syscall.name n)
 
 let kernel t = t.kernel
+
+let parallel t = Option.is_some t.pool
 
 let variation t = t.variation
 
@@ -546,8 +568,7 @@ let deliver_signal t i ~handler =
   | Cpu.Trapped trap -> failed (Format.asprintf "handler trapped: %a" Cpu.pp_trap trap)
   | Cpu.Out_of_fuel -> failed "handler did not terminate");
   Array.iteri (fun r value -> Cpu.set_reg cpu r value) saved_regs;
-  Cpu.set_pc cpu saved_pc;
-  Metrics.incr t.signals_delivered_c
+  Cpu.set_pc cpu saved_pc
 
 let clear_if_fully_delivered t =
   match t.signal with
@@ -556,7 +577,10 @@ let clear_if_fully_delivered t =
 
 (* Run variant [i] to its next trap, honouring a pending Immediate
    signal: once the variant crosses its delivery threshold, the handler
-   is injected and execution continues. *)
+   is injected and execution continues. Domain-safe per the discipline
+   above: reads [t.signal] (stable across a quantum — only the
+   coordinator writes it, between joins), writes only variant-[i]
+   state and the variant's own [delivered.(i)] slot. *)
 let run_variant_to_trap t i ~fuel =
   let cpu = t.variants.(i).Image.cpu in
   let rec go fuel =
@@ -569,7 +593,6 @@ let run_variant_to_trap t i ~fuel =
         if due <= 0 then begin
           deliver_signal t i ~handler:s.handler;
           s.delivered.(i) <- true;
-          clear_if_fully_delivered t;
           go fuel
         end
         else begin
@@ -578,7 +601,6 @@ let run_variant_to_trap t i ~fuel =
             (* Reached the delivery point without trapping. *)
             deliver_signal t i ~handler:s.handler;
             s.delivered.(i) <- true;
-            clear_if_fully_delivered t;
             go (fuel - due)
           | outcome -> outcome
         end)
@@ -586,6 +608,19 @@ let run_variant_to_trap t i ~fuel =
     end
   in
   go fuel
+
+(* A quantum's result, with exceptions reified so that the parallel
+   path can join every variant and then fail deterministically. *)
+type quantum =
+  | Q_trap of Cpu.trap
+  | Q_fuel
+  | Q_raised of exn * Printexc.raw_backtrace
+
+let run_variant_quantum t i ~fuel =
+  match run_variant_to_trap t i ~fuel with
+  | Cpu.Trapped trap -> Q_trap trap
+  | Cpu.Out_of_fuel -> Q_fuel
+  | exception e -> Q_raised (e, Printexc.get_raw_backtrace ())
 
 (* ------------------------------------------------------------------ *)
 (* Lockstep execution                                                  *)
@@ -600,6 +635,7 @@ let alarmed t reason =
 
 let run ?(fuel = 50_000_000) t =
   let deadline = instructions_retired t + fuel in
+  let indices = Array.init (Array.length t.variants) Fun.id in
   (* [now] is the retired-instruction total entering the iteration; it
      is recomputed exactly once per iteration (after the variants run)
      and threaded through, instead of folding over the variants both
@@ -608,20 +644,51 @@ let run ?(fuel = 50_000_000) t =
     let remaining = deadline - now in
     if remaining <= 0 then Out_of_fuel
     else begin
-      (* Run each variant to its next trap. *)
-      match
-        Array.mapi
-          (fun i _ ->
-            match run_variant_to_trap t i ~fuel:remaining with
-            | Cpu.Trapped trap -> Some trap
-            | Cpu.Out_of_fuel -> None)
-          t.variants
-      with
-      | exception Alarm_exn reason -> alarmed t reason
-      | traps ->
-      if Array.exists Option.is_none traps then Out_of_fuel
+      (* Snapshot the Immediate-delivery flags so deliveries performed
+         inside the quanta can be counted after the join. *)
+      let delivered_before =
+        match t.signal with Some s -> Array.copy s.delivered | None -> [||]
+      in
+      (* Run each variant to its next trap — on worker domains when a
+         pool is attached, inline otherwise. Both paths run every
+         variant's quantum to completion (even when one raises), so
+         the machine state at the join is mode-independent. *)
+      let quanta =
+        match t.pool with
+        | None -> Array.map (fun i -> run_variant_quantum t i ~fuel:remaining) indices
+        | Some pool ->
+          Dompool.map_array pool
+            (fun i -> run_variant_quantum t i ~fuel:remaining)
+            indices
+      in
+      (* Coordinator-side signal bookkeeping for this quantum. *)
+      (match t.signal with
+      | Some s ->
+        Array.iteri
+          (fun i delivered ->
+            if delivered && not delivered_before.(i) then
+              Metrics.incr t.signals_delivered_c)
+          s.delivered;
+        clear_if_fully_delivered t
+      | None -> ());
+      (* Deterministic failure order: the lowest variant index wins,
+         regardless of which domain finished first. *)
+      let first_raised = ref None in
+      Array.iter
+        (fun q ->
+          match (q, !first_raised) with
+          | (Q_raised (e, bt), None) -> first_raised := Some (e, bt)
+          | _ -> ())
+        quanta;
+      match !first_raised with
+      | Some (Alarm_exn reason, _) -> alarmed t reason
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None ->
+      if Array.exists (function Q_fuel -> true | _ -> false) quanta then Out_of_fuel
       else begin
-        let traps = Array.map Option.get traps in
+        let traps =
+          Array.map (function Q_trap trap -> trap | Q_fuel | Q_raised _ -> assert false) quanta
+        in
         (* Faults and halts are alarm states. *)
         let alarm = ref None in
         Array.iteri
@@ -651,7 +718,8 @@ let run ?(fuel = 50_000_000) t =
                   (fun i _ ->
                     if not s.delivered.(i) then begin
                       deliver_signal t i ~handler:s.handler;
-                      s.delivered.(i) <- true
+                      s.delivered.(i) <- true;
+                      Metrics.incr t.signals_delivered_c
                     end)
                   t.variants;
                 clear_if_fully_delivered t;

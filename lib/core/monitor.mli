@@ -36,6 +36,8 @@ type t
 
 val create :
   ?metrics:Nv_util.Metrics.t ->
+  ?parallel:bool ->
+  ?pool:Nv_util.Dompool.t ->
   ?segment_size:int ->
   ?stack_size:int ->
   kernel:Nv_os.Kernel.t ->
@@ -49,9 +51,24 @@ val create :
     non-data-diversity variations); the kernel must have been created
     with a matching [~variants] count. Default segment size 1 MiB.
     [metrics] is the registry the monitor reports into; by default it
-    shares the kernel's, so one registry covers the whole system. *)
+    shares the kernel's, so one registry covers the whole system.
+
+    [parallel] selects domain-parallel variant execution: between
+    rendezvous points each variant's quantum runs on its own domain
+    from [pool] (default: {!Nv_util.Dompool.global}). Parallel mode is
+    bit-deterministic — identical outcomes, alarms, final
+    registers/memory, and metric values as sequential mode (enforced
+    by [test/test_parallel.ml]). Defaults to the [NV_PARALLEL]
+    environment variable ({!Nv_util.Dompool.env_default}). *)
 
 val kernel : t -> Nv_os.Kernel.t
+
+val parallel : t -> bool
+(** Whether this monitor runs variant quanta on a domain pool. *)
+
+(** Size of the per-syscall-number metric-handle fast path; every
+    [Nv_os.Syscall] number must stay below this. *)
+val syscall_slots : int
 val variation : t -> Variation.t
 val variant_count : t -> int
 

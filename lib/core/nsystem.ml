@@ -37,14 +37,14 @@ let standard_vfs ~variation () =
     ~path:"/var/log/httpd.log" "";
   vfs
 
-let create ?vfs ?segment_size ~variation images =
+let create ?vfs ?parallel ?segment_size ~variation images =
   let vfs = match vfs with Some v -> v | None -> standard_vfs ~variation () in
   let kernel = Kernel.create ~variants:(Variation.count variation) vfs in
-  let monitor = Monitor.create ?segment_size ~kernel ~variation images in
+  let monitor = Monitor.create ?parallel ?segment_size ~kernel ~variation images in
   { kernel; monitor; variation }
 
-let of_one_image ?vfs ?segment_size ~variation image =
-  create ?vfs ?segment_size ~variation
+let of_one_image ?vfs ?parallel ?segment_size ~variation image =
+  create ?vfs ?parallel ?segment_size ~variation
     (Array.make (Variation.count variation) image)
 
 let kernel t = t.kernel

@@ -19,15 +19,21 @@ val standard_vfs : variation:Variation.t -> unit -> Nv_os.Vfs.t
 
 val create :
   ?vfs:Nv_os.Vfs.t ->
+  ?parallel:bool ->
   ?segment_size:int ->
   variation:Variation.t ->
   Nv_vm.Image.t array ->
   t
-(** Build the system. [images] as in {!Monitor.create}. When [vfs] is
-    omitted, {!standard_vfs} is used. *)
+(** Build the system. [images] and [parallel] as in {!Monitor.create}.
+    When [vfs] is omitted, {!standard_vfs} is used. *)
 
 val of_one_image :
-  ?vfs:Nv_os.Vfs.t -> ?segment_size:int -> variation:Variation.t -> Nv_vm.Image.t -> t
+  ?vfs:Nv_os.Vfs.t ->
+  ?parallel:bool ->
+  ?segment_size:int ->
+  variation:Variation.t ->
+  Nv_vm.Image.t ->
+  t
 (** Same image replicated to every variant — correct for every
     variation except data diversity, whose variant 1 runs transformed
     code. *)

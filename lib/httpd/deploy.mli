@@ -28,12 +28,13 @@ val variation : config -> Nv_core.Variation.t
 val build :
   ?log_uid:bool ->
   ?mode:Nv_transform.Uid_transform.mode ->
+  ?parallel:bool ->
   config ->
   (Nv_core.Nsystem.t, string) result
 (** Compile (and transform, for configurations 2 and 4) the server,
     populate the world (standard files + document root + diversified
     unshared copies), and assemble the system. Each call builds a fresh
-    system. *)
+    system. [parallel] as in {!Nv_core.Monitor.create}. *)
 
 val transform_report :
   ?log_uid:bool ->

@@ -10,14 +10,15 @@ type conn = {
 
 type listener = { queue : conn Queue.t }
 
-let next_id = ref 0
+(* Atomic: systems in different domains (parallel attack campaign,
+   bench fan-out) allocate connection ids concurrently. *)
+let next_id = Atomic.make 0
 
 let make_listener () = { queue = Queue.create () }
 
 let make_conn () =
-  incr next_id;
   {
-    id = !next_id;
+    id = 1 + Atomic.fetch_and_add next_id 1;
     to_server = Buffer.create 256;
     to_server_pos = 0;
     to_client = Buffer.create 256;

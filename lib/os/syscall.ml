@@ -59,6 +59,8 @@ let table =
     (27, { name = "cc_geq"; args = [ Uid; Uid ]; ret = Ret_int });
   ]
 
+let all = table
+
 let signature n = List.assoc_opt n table
 
 let name n =

@@ -56,6 +56,12 @@ type ret_kind =
 
 type signature = { name : string; args : arg_kind list; ret : ret_kind }
 
+val all : (number * signature) list
+(** The complete syscall table, in number order — the source of truth
+    tests iterate to check invariants over every defined syscall
+    (e.g. that every number fits the monitor's metric-handle fast
+    path). *)
+
 val signature : number -> signature option
 (** Metadata for a syscall number; [None] for unknown numbers. *)
 

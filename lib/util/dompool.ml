@@ -1,0 +1,169 @@
+(* Worker-pool over OCaml 5 domains. One mutex guards the task queue,
+   the stop flag and every promise state; [has_task] wakes idle
+   workers, [progress] is broadcast on every promise completion so
+   awaiting callers re-check their promise (and help with whatever is
+   queued behind it). *)
+
+type task = Task : (unit -> unit) -> task
+
+type t = {
+  mutex : Mutex.t;
+  has_task : Condition.t;
+  progress : Condition.t;
+  tasks : task Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  size : int;
+}
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+type 'a promise = { pool : t; mutable state : 'a state }
+
+let size t = t.size
+
+let worker pool =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    let rec next () =
+      if pool.stop then None
+      else
+        match Queue.take_opt pool.tasks with
+        | Some _ as task -> task
+        | None ->
+          Condition.wait pool.has_task pool.mutex;
+          next ()
+    in
+    let task = next () in
+    Mutex.unlock pool.mutex;
+    match task with
+    | None -> ()
+    | Some (Task run) ->
+      run ();
+      loop ()
+  in
+  loop ()
+
+let create ~size =
+  if size < 1 then invalid_arg "Dompool.create: size must be >= 1";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      has_task = Condition.create ();
+      progress = Condition.create ();
+      tasks = Queue.create ();
+      stop = false;
+      domains = [];
+      size;
+    }
+  in
+  pool.domains <- List.init size (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.has_task;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let submit pool f =
+  let p = { pool; state = Pending } in
+  let run () =
+    (* The task body runs unlocked; only the state write is guarded. *)
+    let state =
+      match f () with
+      | v -> Done v
+      | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock pool.mutex;
+    p.state <- state;
+    Condition.broadcast pool.progress;
+    Mutex.unlock pool.mutex
+  in
+  Mutex.lock pool.mutex;
+  if pool.stop then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Dompool.submit: pool is shut down"
+  end;
+  Queue.add (Task run) pool.tasks;
+  Condition.signal pool.has_task;
+  Mutex.unlock pool.mutex;
+  p
+
+(* Help-while-awaiting: as long as the promise is pending, pop and run
+   queued tasks (any task — progress on the queue is progress towards
+   the promise, which is either queued behind them or already running
+   on a worker that will broadcast [progress] when it completes). *)
+let await_result p =
+  let pool = p.pool in
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    match p.state with
+    | Done v ->
+      Mutex.unlock pool.mutex;
+      Ok v
+    | Raised (e, bt) ->
+      Mutex.unlock pool.mutex;
+      Error (e, bt)
+    | Pending -> (
+      match Queue.take_opt pool.tasks with
+      | Some (Task run) ->
+        Mutex.unlock pool.mutex;
+        run ();
+        loop ()
+      | None ->
+        Condition.wait pool.progress pool.mutex;
+        Mutex.unlock pool.mutex;
+        loop ())
+  in
+  loop ()
+
+let await p =
+  match await_result p with
+  | Ok v -> v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+
+let map_array pool f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let promises = Array.map (fun x -> submit pool (fun () -> f x)) xs in
+    (* Await every task before raising anything: failure order must be
+       the lowest index, not whichever domain lost the race. *)
+    let results = Array.map await_result promises in
+    Array.iter
+      (function
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Ok _ -> ())
+      results;
+    Array.map (function Ok v -> v | Error _ -> assert false) results
+  end
+
+(* The global pool is created lazily under its own mutex: nested users
+   (pool tasks that themselves want the pool) may race to create it. *)
+let global_mutex = Mutex.create ()
+
+let global_pool = ref None
+
+let default_size () = max 1 (Domain.recommended_domain_count () - 1)
+
+let global () =
+  Mutex.lock global_mutex;
+  let pool =
+    match !global_pool with
+    | Some pool -> pool
+    | None ->
+      let pool = create ~size:(default_size ()) in
+      global_pool := Some pool;
+      pool
+  in
+  Mutex.unlock global_mutex;
+  pool
+
+let env_default () =
+  match Sys.getenv_opt "NV_PARALLEL" with Some "1" -> true | Some _ | None -> false

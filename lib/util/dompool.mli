@@ -1,0 +1,62 @@
+(** A small persistent pool of worker domains.
+
+    A pool owns a fixed set of domains created once at {!create}; work
+    is handed over with {!submit} (mutex + condition rendezvous, no
+    per-task [Domain.spawn]) and collected with {!await}. An awaiting
+    caller helps drain the task queue while its own promise is pending,
+    so a pool task may itself submit to and await on the same pool
+    without deadlock — nested parallelism (e.g. an attack campaign cell
+    whose monitor also fans out variant quanta) degrades gracefully to
+    the caller running the work inline.
+
+    Worker exceptions are captured together with their backtrace and
+    re-raised on the awaiting caller, so a pool does not change which
+    exceptions a computation can raise — only which domain runs it.
+    {!map_array} waits for {e every} task to finish before re-raising
+    the lowest-index exception, making failure order deterministic
+    regardless of scheduling. *)
+
+type t
+(** A pool of worker domains. *)
+
+val create : size:int -> t
+(** [create ~size] spawns [size] worker domains ([size >= 1] or
+    [Invalid_argument]). *)
+
+val size : t -> int
+(** Number of worker domains (excluding helping callers). *)
+
+val shutdown : t -> unit
+(** Stop the workers and join their domains. Queued tasks that have
+    not started are dropped; their promises never complete. Submitting
+    to a shut-down pool raises [Invalid_argument]. *)
+
+val global : unit -> t
+(** The shared process-wide pool, created on first use with
+    [max 1 (Domain.recommended_domain_count () - 1)] workers (the
+    calling domain itself is the extra effective worker, since awaiting
+    callers help). Never shut down explicitly; worker domains block on
+    an idle condition and do not prevent process exit. *)
+
+type 'a promise
+(** The future result of a submitted task. *)
+
+val submit : t -> (unit -> 'a) -> 'a promise
+(** Enqueue a task. It runs on some worker domain (or on a caller
+    helping while it awaits). *)
+
+val await : 'a promise -> 'a
+(** Wait for the task to finish, helping with queued work meanwhile.
+    Re-raises the task's exception (with its backtrace) if it failed. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f xs] runs [f xs.(i)] for every [i] on the pool and
+    returns the results in order. All tasks are run to completion even
+    when some raise; afterwards the exception of the {e lowest} failed
+    index is re-raised with its original backtrace. [f] must therefore
+    tolerate running concurrently with itself on other elements. *)
+
+val env_default : unit -> bool
+(** The process-wide parallelism default: [true] iff the [NV_PARALLEL]
+    environment variable is set to ["1"]. Read on every call (not
+    cached) so tests can flip it. *)

@@ -31,14 +31,16 @@ let run ?(seed = 11) ?(cost = Cost_model.default) ~variants ~samples load =
   let cpu = Resource.create engine ~name:"cpu" ~capacity:1 in
   let nic = Resource.create engine ~name:"nic" ~capacity:1 in
   let prng = Nv_util.Prng.create ~seed in
+  (* Single accounting path for request latencies: the metrics timer's
+     histogram is both the exported metric and the source of the
+     mean/p50/p99 summary below (the old side list double-tracked the
+     same durations and could drift from the exported numbers). *)
   let latency_timer =
     Metrics.timer
       (Metrics.scope (Engine.metrics engine) "workload")
       "request_latency_s"
       ~clock:(fun () -> Engine.now engine)
   in
-  let latencies = ref [] in
-  let completed = ref 0 in
   let bytes_out = ref 0 in
   let rendezvous_total = ref 0 in
   (* The single horizon predicate: an instant is in the measurement
@@ -57,7 +59,6 @@ let run ?(seed = 11) ?(cost = Cost_model.default) ~variants ~samples load =
   let rec client_loop () =
     if in_window (Engine.now engine) then begin
       let sample = next_sample () in
-      let started = Engine.now engine in
       let stop_timer = Metrics.start latency_timer in
       (* Request travels to the server. *)
       Engine.schedule_after engine ~delay:(cost.Cost_model.rtt_s /. 2.0) (fun () ->
@@ -73,11 +74,9 @@ let run ?(seed = 11) ?(cost = Cost_model.default) ~variants ~samples load =
                   Engine.schedule_after engine ~delay:(cost.Cost_model.rtt_s /. 2.0)
                     (fun () ->
                       if in_window (Engine.now engine) then begin
-                        incr completed;
                         bytes_out := !bytes_out + sample.Measure.response_bytes;
                         rendezvous_total := !rendezvous_total + sample.Measure.rendezvous;
-                        stop_timer ();
-                        latencies := (Engine.now engine -. started) :: !latencies
+                        stop_timer ()
                       end;
                       client_loop ()))))
     end
@@ -89,20 +88,16 @@ let run ?(seed = 11) ?(cost = Cost_model.default) ~variants ~samples load =
       client_loop
   done;
   Engine.run ~until:load.duration_s engine;
-  let latencies = Array.of_list !latencies in
+  let hist = Metrics.timer_histogram latency_timer in
+  let completed = Metrics.histogram_count hist in
   let latency_ms =
-    if Array.length latencies = 0 then 0.0 else 1000.0 *. Nv_util.Stats.mean latencies
+    if completed = 0 then 0.0
+    else 1000.0 *. Metrics.histogram_sum hist /. float_of_int completed
   in
-  let latency_p50_ms =
-    if Array.length latencies = 0 then 0.0
-    else 1000.0 *. Nv_util.Stats.percentile latencies 50.0
-  in
-  let latency_p99_ms =
-    if Array.length latencies = 0 then 0.0
-    else 1000.0 *. Nv_util.Stats.percentile latencies 99.0
-  in
+  let latency_p50_ms = 1000.0 *. Metrics.histogram_percentile hist 50.0 in
+  let latency_p99_ms = 1000.0 *. Metrics.histogram_percentile hist 99.0 in
   {
-    requests_completed = !completed;
+    requests_completed = completed;
     throughput_kb_s = float_of_int !bytes_out /. 1024.0 /. load.duration_s;
     latency_ms;
     latency_p50_ms;

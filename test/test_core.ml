@@ -675,6 +675,18 @@ let test_monitor_stats () =
   Alcotest.(check int) "histogram sums to rendezvous" stats.Monitor.st_rendezvous total_calls;
   Alcotest.(check int) "no signals" 0 stats.Monitor.st_signals_delivered
 
+let test_syscall_numbers_fit_fast_path () =
+  (* Every defined syscall must fit the monitor's per-number
+     metric-handle cache; a number >= syscall_slots would silently
+     fall back to the slow by-name lookup on every rendezvous. *)
+  List.iter
+    (fun (number, { Nv_os.Syscall.name; _ }) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s (#%d) within [0, %d)" name number Monitor.syscall_slots)
+        true
+        (number >= 0 && number < Monitor.syscall_slots))
+    Nv_os.Syscall.all
+
 let test_out_of_fuel () =
   let sys = system ~variation:Variation.replicated "int main(void) { while (1) {} return 0; }" in
   match Nsystem.run ~fuel:10_000 sys with
@@ -748,6 +760,8 @@ let () =
           Alcotest.test_case "create validations" `Quick test_monitor_create_validations;
           Alcotest.test_case "standard vfs" `Quick test_standard_vfs_contents;
           Alcotest.test_case "monitor stats" `Quick test_monitor_stats;
+          Alcotest.test_case "syscall numbers fit fast path" `Quick
+            test_syscall_numbers_fit_fast_path;
           Alcotest.test_case "out of fuel" `Quick test_out_of_fuel;
         ] );
     ]

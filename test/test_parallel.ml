@@ -1,0 +1,429 @@
+(* Differential suite for domain-parallel variant execution.
+
+   The contract under test (lib/core/monitor.ml, "Concurrency
+   discipline"): a monitor created with [~parallel:true] is
+   bit-deterministic with respect to sequential stepping — identical
+   outcomes, alarms, final registers/memory, and metric values — for
+   every program, including ones that raise alarms mid-quantum and
+   ones with pending signal deliveries. Mirrors the cached-vs-reference
+   differential pattern of test_perf.ml: build the same system twice,
+   drive both identically, compare complete fingerprints. *)
+
+module Alarm = Nv_core.Alarm
+module Monitor = Nv_core.Monitor
+module Nsystem = Nv_core.Nsystem
+module Variation = Nv_core.Variation
+module Deploy = Nv_httpd.Deploy
+module Http = Nv_httpd.Http
+module Cpu = Nv_vm.Cpu
+module Memory = Nv_vm.Memory
+module Image = Nv_vm.Image
+module Isa = Nv_vm.Isa
+module Word = Nv_vm.Word
+module Dompool = Nv_util.Dompool
+module Metrics = Nv_util.Metrics
+module Prng = Nv_util.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_str = function
+  | Monitor.Exited n -> Printf.sprintf "exited %d" n
+  | Monitor.Alarm reason -> Format.asprintf "alarm %a" Alarm.pp reason
+  | Monitor.Blocked_on_accept -> "blocked-on-accept"
+  | Monitor.Out_of_fuel -> "out-of-fuel"
+
+(* Everything observable about a system: per-variant pc, registers,
+   retired count, a digest of the whole memory segment, and the full
+   metric registry rendered to text (sorted, so registration order is
+   irrelevant). *)
+let fingerprint sys =
+  let monitor = Nsystem.monitor sys in
+  let b = Buffer.create 1024 in
+  for i = 0 to Monitor.variant_count monitor - 1 do
+    let { Image.cpu; memory; _ } = Monitor.loaded monitor i in
+    Buffer.add_string b
+      (Printf.sprintf "v%d pc=%d retired=%d regs=" i (Cpu.pc cpu)
+         (Cpu.instructions_retired cpu));
+    for r = 0 to 15 do
+      Buffer.add_string b (Printf.sprintf "%d," (Cpu.reg cpu r))
+    done;
+    let base = Memory.base memory and size = Memory.size memory in
+    Buffer.add_string b
+      (Printf.sprintf " mem=%s\n"
+         (Digest.to_hex (Digest.bytes (Memory.load_bytes memory ~addr:base ~len:size))));
+  done;
+  Buffer.add_string b (Metrics.to_text (Nsystem.metrics sys));
+  Buffer.contents b
+
+(* Build the same system twice — sequential and parallel — drive both
+   with [drive] (which returns a transcript of what it observed), and
+   require transcript + fingerprint equality. *)
+let assert_equivalent ~what ~build ~drive =
+  let seq_sys = build ~parallel:false in
+  let par_sys = build ~parallel:true in
+  Alcotest.(check bool) (what ^ ": parallel flag") true
+    (Monitor.parallel (Nsystem.monitor par_sys)
+    && not (Monitor.parallel (Nsystem.monitor seq_sys)));
+  let seq_log = drive seq_sys in
+  let par_log = drive par_sys in
+  Alcotest.(check string) (what ^ ": transcript") seq_log par_log;
+  Alcotest.(check string) (what ^ ": final state") (fingerprint seq_sys)
+    (fingerprint par_sys)
+
+(* ------------------------------------------------------------------ *)
+(* Random raw-instruction programs                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A generator in the spirit of test_perf's: arbitrary register
+   arithmetic, memory traffic through relocated data pointers, wild
+   branches, and frequent syscalls with numbers drawn from the whole
+   ABI (including UID-returning and detection calls, so data-diverse
+   variations legitimately alarm). Every program ends in exit(0); most
+   stop earlier by trapping or alarming. All deterministic per seed. *)
+let gen_image prng =
+  let ncode = 64 in
+  let isz = Isa.instr_size in
+  let data_size = 256 and bss_size = 256 in
+  let code = Array.make ncode { Image.instr = Isa.Nop; relocate = false } in
+  (* data_offset = code bytes rounded up to 16 (Image.data_offset). *)
+  let data_off = (((ncode * isz) + 15) / 16) * 16 in
+  let plain instr = { Image.instr; relocate = false } in
+  let reloc instr = { Image.instr; relocate = true } in
+  let reg () = Prng.int prng 8 in
+  let binops = [| Isa.Add; Isa.Sub; Isa.Mul; Isa.And; Isa.Or; Isa.Xor |] in
+  let conds = [| Isa.Eq; Isa.Ne; Isa.Lt; Isa.Ge; Isa.Ltu; Isa.Geu |] in
+  let syscalls = [| 0; 1; 2; 3; 4; 5; 6; 7; 9; 13; 15; 20; 21; 22; 24; 27 |] in
+  let code_target () = Word.mask (Prng.int prng ncode * isz) in
+  let data_target () = Word.mask (data_off + Prng.int prng (data_size + bss_size - 8)) in
+  let i = ref 0 in
+  let emit item = if !i < ncode - 2 then begin code.(!i) <- item; incr i end in
+  while !i < ncode - 2 do
+    match Prng.int prng 100 with
+    | n when n < 22 ->
+      emit (plain (Isa.Mov (reg (), Isa.Imm (Word.mask (Prng.int prng 4096)))))
+    | n when n < 34 ->
+      emit
+        (plain
+           (Isa.Binop (Prng.pick prng binops, reg (), reg (), Isa.Reg (reg ()))))
+    | n when n < 40 ->
+      emit (plain (Isa.Setcc (Prng.pick prng conds, reg (), reg (), Isa.Reg (reg ()))))
+    | n when n < 50 ->
+      (* Valid data pointer into r8/r9, then a load or store off it. *)
+      let p = 8 + Prng.int prng 2 in
+      emit (reloc (Isa.Mov (p, Isa.Imm (data_target ()))));
+      if Prng.bool prng then emit (plain (Isa.Load (reg (), p, Prng.int prng 8)))
+      else emit (plain (Isa.Store (p, Prng.int prng 8, reg ())))
+    | n when n < 58 ->
+      let c = Prng.pick prng conds in
+      let a = reg () and b = reg () in
+      emit (reloc (Isa.Br (c, a, b, code_target ())))
+    | n when n < 62 -> emit (reloc (Isa.Jmp (code_target ())))
+    | n when n < 68 ->
+      if Prng.bool prng then emit (plain (Isa.Push (reg ())))
+      else emit (plain (Isa.Pop (reg ())))
+    | n when n < 80 ->
+      (* Syscall group: number in r0, one plausible argument in r1. *)
+      emit (plain (Isa.Mov (0, Isa.Imm (Word.mask (Prng.pick prng syscalls)))));
+      emit (plain (Isa.Mov (1, Isa.Imm (Word.mask (Prng.int prng 8)))));
+      emit (plain Isa.Syscall)
+    | _ -> emit (plain Isa.Nop)
+  done;
+  (* Epilogue: exit(0). *)
+  code.(ncode - 2) <- plain (Isa.Mov (0, Isa.Imm 0));
+  code.(ncode - 1) <- plain Isa.Syscall;
+  (* The epilogue leaves r1 as-is: variants whose r1 diverged exit with
+     different statuses -> a deterministic Exit_mismatch alarm. *)
+  {
+    Image.code;
+    data = Bytes.make data_size '\x2A';
+    bss_size;
+    entry_offset = 0;
+    symbols = [];
+  }
+
+let random_variations =
+  [|
+    Variation.replicated;
+    Variation.address_partition;
+    Variation.uid_diversity;
+    Variation.uid_diversity_n 3;
+  |]
+
+let drive_to_rest fuel sys =
+  (* Run; on accept-block, feed one client request and continue (at
+     most twice) so server-ish random programs get exercised past
+     their accept. *)
+  let b = Buffer.create 64 in
+  let rec go tries =
+    match Nsystem.run ~fuel sys with
+    | Monitor.Blocked_on_accept when tries > 0 ->
+      Buffer.add_string b "blocked;";
+      let conn = Nsystem.connect sys in
+      Nv_os.Socket.client_send conn "ping";
+      Nv_os.Socket.client_close conn;
+      go (tries - 1)
+    | outcome -> Buffer.add_string b (outcome_str outcome)
+  in
+  go 2;
+  Buffer.contents b
+
+let test_random_programs () =
+  for seed = 1 to 40 do
+    let image = gen_image (Prng.create ~seed) in
+    let variation = random_variations.(seed mod Array.length random_variations) in
+    assert_equivalent
+      ~what:(Printf.sprintf "random seed %d" seed)
+      ~build:(fun ~parallel ->
+        Nsystem.of_one_image ~parallel ~segment_size:(1 lsl 17) ~variation image)
+      ~drive:(drive_to_rest 30_000)
+  done
+
+let test_random_programs_fuel_slices () =
+  (* Same comparison but stepping each system in small fuel slices:
+     quantum boundaries land mid-program, so the Out_of_fuel path and
+     resumability must also be mode-independent. *)
+  for seed = 41 to 52 do
+    let image = gen_image (Prng.create ~seed) in
+    let variation = random_variations.(seed mod Array.length random_variations) in
+    assert_equivalent
+      ~what:(Printf.sprintf "fuel-sliced seed %d" seed)
+      ~build:(fun ~parallel ->
+        Nsystem.of_one_image ~parallel ~segment_size:(1 lsl 17) ~variation image)
+      ~drive:(fun sys ->
+        let b = Buffer.create 64 in
+        for _ = 1 to 6 do
+          Buffer.add_string b (outcome_str (Nsystem.run ~fuel:701 sys));
+          Buffer.add_char b ';'
+        done;
+        Buffer.contents b)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Mini-C programs: signals, alarms, 4 variants                        *)
+(* ------------------------------------------------------------------ *)
+
+let compile source = Nv_minic.Codegen.compile_source (Nv_minic.Runtime.with_runtime source)
+
+let build_minic ?(variation = Variation.uid_diversity) source ~parallel =
+  Nsystem.of_one_image ~parallel ~segment_size:(1 lsl 17) ~variation (compile source)
+
+let signal_program =
+  {|int sigcount = 0;
+    int on_signal(void) {
+      sigcount = sigcount + 1;
+      return 0;
+    }
+    int main(void) {
+      int fd = sys_accept(3);
+      sys_close(fd);
+      uid_t me = getuid();
+      if (seteuid(me) != 0) { return 9; }
+      int spin = 0;
+      while (spin < 300) { spin++; }
+      return sigcount;
+    }|}
+
+let divergent_signal_program =
+  (* getpwnam parses per-variant unshared files of different lengths,
+     so Immediate delivery can land at different logical points and
+     raise the paper's false detection — which must be raised (or not)
+     identically in both stepping modes. *)
+  {|int sigcount = 0;
+    int on_signal(void) {
+      sigcount = sigcount + 1;
+      return 0;
+    }
+    int main(void) {
+      int fd = sys_accept(3);
+      sys_close(fd);
+      uid_t www = getpwnam_uid("www");
+      int snapshot = sigcount;
+      if (cond_chk(snapshot == 0)) {
+        if (seteuid(www) != 0) { return 0; }
+        return 0;
+      }
+      return 1;
+    }|}
+
+let bad_handler_program =
+  {|int bad_handler(void) {
+      sys_close(0);
+      return 0;
+    }
+    int main(void) {
+      int fd = sys_accept(3);
+      sys_close(fd);
+      int spin = 0;
+      while (spin < 500) { spin++; }
+      return 0;
+    }|}
+
+let drive_signal ~handler ~mode sys =
+  match Nsystem.run sys with
+  | Monitor.Blocked_on_accept -> (
+    match Monitor.post_signal (Nsystem.monitor sys) ~handler ~mode with
+    | Error e -> "post failed: " ^ e
+    | Ok () ->
+      let conn = Nsystem.connect sys in
+      Nv_os.Socket.client_send conn "x";
+      Nv_os.Socket.client_close conn;
+      Printf.sprintf "%s pending=%b"
+        (outcome_str (Nsystem.run sys))
+        (Monitor.signal_pending (Nsystem.monitor sys)))
+  | outcome -> "no accept: " ^ outcome_str outcome
+
+let test_signal_at_rendezvous () =
+  assert_equivalent ~what:"signal at-rendezvous"
+    ~build:(build_minic signal_program)
+    ~drive:(drive_signal ~handler:"on_signal" ~mode:Monitor.At_rendezvous)
+
+let test_signal_immediate_sweep () =
+  (* Sweep the delivery point across the run: deliveries land inside
+     different quanta, including mid-quantum in the aligned program
+     (no alarm) and at drift points in the divergent one (alarm). *)
+  List.iter
+    (fun after ->
+      assert_equivalent
+        ~what:(Printf.sprintf "signal immediate after=%d" after)
+        ~build:(build_minic signal_program)
+        ~drive:
+          (drive_signal ~handler:"on_signal"
+             ~mode:(Monitor.Immediate { after_instructions = after })))
+    [ 50; 137; 200; 500; 1000; 2500 ]
+
+let test_signal_divergent_sweep () =
+  List.iter
+    (fun after ->
+      assert_equivalent
+        ~what:(Printf.sprintf "divergent signal after=%d" after)
+        ~build:(build_minic divergent_signal_program)
+        ~drive:
+          (drive_signal ~handler:"on_signal"
+             ~mode:(Monitor.Immediate { after_instructions = after })))
+    [ 100; 600; 1100; 1600; 2100; 2600; 3100; 3600 ]
+
+let test_signal_delivery_failure () =
+  (* The handler traps during delivery: the Alarm_exn is raised inside
+     a variant's quantum, exercising the captured-exception join path
+     (lowest index first) in parallel mode. *)
+  List.iter
+    (fun mode ->
+      assert_equivalent ~what:"failing handler"
+        ~build:(build_minic bad_handler_program)
+        ~drive:(drive_signal ~handler:"bad_handler" ~mode))
+    [ Monitor.At_rendezvous; Monitor.Immediate { after_instructions = 120 } ]
+
+let uid_dance_4v =
+  {|int main(void) {
+      uid_t me = getuid();
+      if (seteuid(me) != 0) { return 9; }
+      uid_t now = geteuid();
+      if (cc_eq(me, now) == 0) { return 8; }
+      uid_t www = getpwnam_uid("www");
+      if (seteuid(www) != 0) { return 7; }
+      return 0;
+    }|}
+
+let test_four_variants () =
+  assert_equivalent ~what:"4-variant uid dance"
+    ~build:(build_minic ~variation:(Variation.uid_diversity_n 4) uid_dance_4v)
+    ~drive:(fun sys -> outcome_str (Nsystem.run sys))
+
+(* ------------------------------------------------------------------ *)
+(* The case-study server                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_httpd_serving () =
+  assert_equivalent ~what:"httpd two-variant-uid"
+    ~build:(fun ~parallel ->
+      match Deploy.build ~parallel Deploy.Two_variant_uid with
+      | Ok sys -> sys
+      | Error e -> Alcotest.fail e)
+    ~drive:(fun sys ->
+      let b = Buffer.create 4096 in
+      List.iter
+        (fun url ->
+          match Nsystem.serve sys (Http.get url) with
+          | Nsystem.Served response -> Buffer.add_string b response
+          | Nsystem.Stopped outcome -> Buffer.add_string b (outcome_str outcome))
+        [ "/index.html"; "/"; "/missing.html" ];
+      Buffer.contents b)
+
+(* ------------------------------------------------------------------ *)
+(* The pool itself                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_dompool_basics () =
+  let pool = Dompool.create ~size:2 in
+  let p = Dompool.submit pool (fun () -> 21 * 2) in
+  Alcotest.(check int) "await" 42 (Dompool.await p);
+  let doubled = Dompool.map_array pool (fun x -> 2 * x) (Array.init 100 Fun.id) in
+  Alcotest.(check int) "map_array len" 100 (Array.length doubled);
+  Array.iteri (fun i v -> Alcotest.(check int) "map_array value" (2 * i) v) doubled;
+  Alcotest.(check int) "size" 2 (Dompool.size pool);
+  Alcotest.(check (array int)) "empty" [||] (Dompool.map_array pool (fun x -> x) [||]);
+  Dompool.shutdown pool;
+  Alcotest.(check bool) "submit after shutdown rejected" true
+    (try
+       ignore (Dompool.submit pool (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_dompool_exception_order () =
+  let pool = Dompool.create ~size:2 in
+  (* Every task fails; the lowest index must win, deterministically. *)
+  for _ = 1 to 20 do
+    match
+      Dompool.map_array pool
+        (fun i -> if i >= 3 then failwith (string_of_int i) else i)
+        (Array.init 8 Fun.id)
+    with
+    | _ -> Alcotest.fail "expected a failure"
+    | exception Failure s -> Alcotest.(check string) "lowest index raised" "3" s
+  done;
+  Dompool.shutdown pool
+
+let test_dompool_nested () =
+  (* A task that itself maps on the same pool: the help-while-awaiting
+     discipline must prevent deadlock even with a single worker. *)
+  let pool = Dompool.create ~size:1 in
+  let result =
+    Dompool.map_array pool
+      (fun x ->
+        Array.fold_left ( + ) 0 (Dompool.map_array pool (fun y -> x * y) [| 1; 2; 3 |]))
+      [| 10; 20; 30 |]
+  in
+  Alcotest.(check (array int)) "nested sums" [| 60; 120; 180 |] result;
+  Dompool.shutdown pool
+
+let test_env_default () =
+  (* Not cached: the monitor's default follows the current env. *)
+  let before = Dompool.env_default () in
+  Alcotest.(check bool) "matches env" before
+    (match Sys.getenv_opt "NV_PARALLEL" with Some "1" -> true | _ -> false)
+
+let () =
+  Alcotest.run "nv_parallel"
+    [
+      ( "dompool",
+        [
+          Alcotest.test_case "basics" `Quick test_dompool_basics;
+          Alcotest.test_case "exception order" `Quick test_dompool_exception_order;
+          Alcotest.test_case "nested" `Quick test_dompool_nested;
+          Alcotest.test_case "env default" `Quick test_env_default;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "random programs" `Quick test_random_programs;
+          Alcotest.test_case "random programs, fuel-sliced" `Quick
+            test_random_programs_fuel_slices;
+          Alcotest.test_case "signal at-rendezvous" `Quick test_signal_at_rendezvous;
+          Alcotest.test_case "signal immediate sweep" `Quick test_signal_immediate_sweep;
+          Alcotest.test_case "divergent signal sweep" `Quick test_signal_divergent_sweep;
+          Alcotest.test_case "signal delivery failure" `Quick test_signal_delivery_failure;
+          Alcotest.test_case "four variants" `Quick test_four_variants;
+          Alcotest.test_case "httpd serving" `Quick test_httpd_serving;
+        ] );
+    ]

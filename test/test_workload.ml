@@ -109,6 +109,26 @@ let test_webbench_horizon_regression () =
   Alcotest.(check bool) "p50 <= mean-ish p99" true
     (r.Webbench.latency_p50_ms <= r.Webbench.latency_p99_ms +. 1e-9)
 
+(* Regression pin for the single-accounting-path fix: the latency
+   summary (mean/p50/p99) is now sourced from the metrics timer's
+   histogram — the same data every metrics consumer sees — instead of
+   a side list kept next to it. These exact values for a fixed seed
+   guard against the two paths reappearing and drifting apart. *)
+let test_webbench_latency_single_accounting_pin () =
+  let r =
+    Webbench.run ~seed:7 ~variants:2 ~samples:synthetic_samples
+      { Webbench.clients = 3; duration_s = 5.0 }
+  in
+  let check_ms what expected actual =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s = %.9f (got %.9f)" what expected actual)
+      true
+      (Float.abs (expected -. actual) < 1e-9)
+  in
+  check_ms "mean" 5.130579926 r.Webbench.latency_ms;
+  check_ms "p50" 5.130522727 r.Webbench.latency_p50_ms;
+  check_ms "p99" 5.364863636 r.Webbench.latency_p99_ms
+
 let test_webbench_saturation_increases_latency_and_throughput () =
   let unsat =
     Webbench.run ~variants:1 ~samples:synthetic_samples { Webbench.clients = 1; duration_s = 10.0 }
@@ -260,6 +280,8 @@ let () =
           Alcotest.test_case "runs" `Quick test_webbench_runs;
           Alcotest.test_case "deterministic" `Quick test_webbench_deterministic;
           Alcotest.test_case "horizon regression" `Quick test_webbench_horizon_regression;
+          Alcotest.test_case "latency single accounting pin" `Quick
+            test_webbench_latency_single_accounting_pin;
           Alcotest.test_case "saturation" `Quick
             test_webbench_saturation_increases_latency_and_throughput;
           Alcotest.test_case "two variants slower" `Quick test_webbench_two_variants_slower;
