@@ -261,7 +261,16 @@ let report_matrix () =
   print_endline
     "expected story: UID corruption defeats every deployment except config4;\n\
      the bit-31 row reproduces the paper's admitted reexpression-key escape;\n\
-     code injection is stopped by the address partition (configs 3 and 4)."
+     code injection is stopped by the address partition (configs 3 and 4).";
+  section "X2b: Same Matrix Under the Recovery Supervisor";
+  let recovered =
+    Nv_attacks.Campaign.run_matrix ~recover:Nv_core.Supervisor.default_config ()
+  in
+  print_string (Nv_attacks.Campaign.render_matrix recovered);
+  print_endline
+    "recovered-vs-halted: every DETECTED cell above should flip to RECOVERED -\n\
+     the supervisor rolls back to the last accept-boundary checkpoint, drops the\n\
+     attack connection and keeps serving instead of fail-stopping."
 
 (* ------------------------------------------------------------------ *)
 (* X3: ablation - cc_* syscalls vs user-space comparisons              *)

@@ -35,7 +35,16 @@ let parallel_arg =
            variants) on a domain pool. Defaults to the $(b,NV_PARALLEL) \
            environment variable (1 = on). Verdicts are identical either way.")
 
-let run attack config list verbose parallel =
+let recover_arg =
+  Arg.(
+    value & flag
+    & info [ "recover" ]
+        ~doc:
+          "Deploy each system with a recovery supervisor (default budget): \
+           detected attacks roll back and the server keeps serving, so cells \
+           report $(b,RECOVERED) instead of $(b,DETECTED).")
+
+let run attack config list verbose parallel recover =
   if list then begin
     List.iter
       (fun a ->
@@ -55,7 +64,8 @@ let run attack config list verbose parallel =
         exit 2)
   in
   let configs = match config with None -> Nv_httpd.Deploy.all | Some c -> [ c ] in
-  let matrix = Nv_attacks.Campaign.run_matrix ~parallel ~attacks ~configs () in
+  let recover = if recover then Some Nv_core.Supervisor.default_config else None in
+  let matrix = Nv_attacks.Campaign.run_matrix ~parallel ?recover ~attacks ~configs () in
   print_string (Nv_attacks.Campaign.render_matrix matrix);
   if verbose then
     List.iter
@@ -84,6 +94,8 @@ let run attack config list verbose parallel =
 let cmd =
   let doc = "run data-corruption and code-injection attacks against the case-study server" in
   Cmd.v (Cmd.info "attack_lab" ~doc)
-    Term.(const run $ attack_arg $ config_arg $ list_arg $ verbose_arg $ parallel_arg)
+    Term.(
+      const run $ attack_arg $ config_arg $ list_arg $ verbose_arg $ parallel_arg
+      $ recover_arg)
 
 let () = exit (Cmd.eval cmd)

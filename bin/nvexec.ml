@@ -61,6 +61,17 @@ let parallel_arg =
            to the $(b,NV_PARALLEL) environment variable (1 = on). Outcomes are \
            identical either way; only wall-clock time differs.")
 
+let recover_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "recover" ] ~docv:"N"
+        ~doc:
+          "Attach a recovery supervisor: on an alarm, roll the variants and \
+           kernel back to the last accept-boundary checkpoint, drop the \
+           offending connection and resume, allowing at most $(docv) \
+           rollbacks per budget window before degrading to fail-stop.")
+
 let mode_arg =
   Arg.(
     value
@@ -81,7 +92,7 @@ let read_file path =
   close_in ic;
   s
 
-let run variation file trace fuel no_runtime mode metrics parallel =
+let run variation file trace fuel no_runtime mode metrics parallel recover =
   let source = read_file file in
   let source = if no_runtime then source else Nv_minic.Runtime.with_runtime source in
   match Nv_transform.Uid_transform.transform_source ~mode ~variation source with
@@ -91,13 +102,25 @@ let run variation file trace fuel no_runtime mode metrics parallel =
   | Ok (images, report) -> (
     Format.printf "variation: %a; transformation: %a@." Nv_core.Variation.pp variation
       Nv_transform.Uid_transform.pp_report report;
-    let sys = Nv_core.Nsystem.create ~parallel ~variation images in
+    let recover =
+      Option.map
+        (fun n -> { Nv_core.Supervisor.default_config with max_recoveries = n })
+        recover
+    in
+    let sys = Nv_core.Nsystem.create ~parallel ?recover ~variation images in
     if trace then
       Nv_core.Monitor.set_tracer (Nv_core.Nsystem.monitor sys) (fun e ->
           Format.printf "[%s] %s@."
             (Nv_os.Syscall.name e.Nv_core.Monitor.ev_syscall)
             e.Nv_core.Monitor.ev_note);
     let dump_metrics () =
+      (match Nv_core.Nsystem.supervisor sys with
+      | Some sup when Nv_core.Supervisor.recoveries sup > 0 ->
+        Format.printf "[supervisor: %d recoveries, %d connections dropped%s]@."
+          (Nv_core.Supervisor.recoveries sup)
+          (Nv_core.Supervisor.dropped_connections sup)
+          (if Nv_core.Supervisor.exhausted sup then "; budget exhausted" else "")
+      | Some _ | None -> ());
       match metrics with
       | None -> ()
       | Some format ->
@@ -132,6 +155,6 @@ let cmd =
     (Cmd.info "nvexec" ~doc)
     Term.(
       const run $ variation_arg $ file_arg $ trace_arg $ fuel_arg $ no_runtime_arg
-      $ mode_arg $ metrics_arg $ parallel_arg)
+      $ mode_arg $ metrics_arg $ parallel_arg $ recover_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -10,6 +10,7 @@ type verdict =
   | Corrupted_undetected
   | Detected of Nv_core.Alarm.reason
   | Crashed of string
+  | Recovered of { recoveries : int; last_alarm : Nv_core.Alarm.reason option }
   | No_effect
 
 let verdict_label = function
@@ -17,6 +18,7 @@ let verdict_label = function
   | Corrupted_undetected -> "CORRUPTED"
   | Detected _ -> "DETECTED"
   | Crashed _ -> "CRASHED"
+  | Recovered _ -> "RECOVERED"
   | No_effect -> "no effect"
 
 let pp_verdict ppf = function
@@ -24,6 +26,13 @@ let pp_verdict ppf = function
   | Corrupted_undetected -> Format.pp_print_string ppf "CORRUPTED (undetected)"
   | Detected reason -> Format.fprintf ppf "DETECTED (%a)" Alarm.pp reason
   | Crashed why -> Format.fprintf ppf "CRASHED (%s)" why
+  | Recovered { recoveries; last_alarm } ->
+    Format.fprintf ppf "RECOVERED (%d rollback%s%a)" recoveries
+      (if recoveries = 1 then "" else "s")
+      (fun ppf -> function
+        | None -> ()
+        | Some reason -> Format.fprintf ppf ", last alarm: %a" Alarm.pp reason)
+      last_alarm
   | No_effect -> Format.pp_print_string ppf "no effect"
 
 type attack = { name : string; description : string; run : Nsystem.t -> verdict }
@@ -206,22 +215,39 @@ let attacks =
 
 let find name = List.find_opt (fun a -> a.name = name) attacks
 
-let run_attack ?parallel attack config =
-  match Deploy.build ?parallel config with
+let run_attack ?parallel ?recover attack config =
+  match Deploy.build ?parallel ?recover config with
   | Error _ as e -> e
-  | Ok sys -> Ok (attack.run sys)
+  | Ok sys ->
+    let verdict = attack.run sys in
+    (* Under a supervisor a detected attack does not halt the system:
+       the rollback absorbs it, the probe requests see a healthy
+       server, and the attack classifies as harmless. Distinguish that
+       from a genuinely effect-free attack by asking the supervisor
+       whether it had to intervene. *)
+    let verdict =
+      match (Nsystem.supervisor sys, verdict) with
+      | Some sup, No_effect when Nv_core.Supervisor.recoveries sup > 0 ->
+        Recovered
+          {
+            recoveries = Nv_core.Supervisor.recoveries sup;
+            last_alarm = Nv_core.Supervisor.last_alarm sup;
+          }
+      | _ -> verdict
+    in
+    Ok verdict
 
 type matrix = (attack * (Deploy.config * verdict) list) list
 
 (* Each (attack, config) cell builds its own fresh system, so the
    cells are independent; under [parallel] they are fanned out on the
    shared domain pool and reassembled in matrix order. *)
-let run_matrix ?parallel ?(attacks = attacks) ?(configs = Deploy.all) () =
+let run_matrix ?parallel ?recover ?(attacks = attacks) ?(configs = Deploy.all) () =
   let parallel =
     match parallel with Some b -> b | None -> Nv_util.Dompool.env_default ()
   in
   let cell (attack, config) =
-    match run_attack ~parallel attack config with
+    match run_attack ~parallel ?recover attack config with
     | Ok verdict -> (config, verdict)
     | Error message -> (config, Crashed ("build failed: " ^ message))
   in

@@ -18,12 +18,16 @@ type verdict =
       (** The monitor raised an alarm before the attack took effect. *)
   | Crashed of string
       (** The (single-variant) server died without escalation. *)
+  | Recovered of { recoveries : int; last_alarm : Nv_core.Alarm.reason option }
+      (** A supervisor absorbed the alarm(s): the attack was detected,
+          the system rolled back and kept serving, and the probe saw a
+          healthy server (only produced under [?recover]). *)
   | No_effect
       (** Server still healthy, UID intact, nothing leaked. *)
 
 val verdict_label : verdict -> string
 (** Short cell text: "ESCALATED", "CORRUPTED", "DETECTED",
-    "CRASHED", "no effect". *)
+    "CRASHED", "RECOVERED", "no effect". *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
@@ -51,14 +55,22 @@ val attacks : attack list
 val find : string -> attack option
 
 val run_attack :
-  ?parallel:bool -> attack -> Nv_httpd.Deploy.config -> (verdict, string) result
+  ?parallel:bool ->
+  ?recover:Nv_core.Supervisor.config ->
+  attack ->
+  Nv_httpd.Deploy.config ->
+  (verdict, string) result
 (** Build the configuration fresh and run one attack. [parallel] as in
-    {!Nv_core.Monitor.create}. *)
+    {!Nv_core.Monitor.create}. With [recover] the system carries a
+    recovery supervisor; an attack it absorbs (rollback, connection
+    dropped, server healthy afterwards) classifies as {!Recovered}
+    instead of halting as {!Detected}. *)
 
 type matrix = (attack * (Nv_httpd.Deploy.config * verdict) list) list
 
 val run_matrix :
   ?parallel:bool ->
+  ?recover:Nv_core.Supervisor.config ->
   ?attacks:attack list ->
   ?configs:Nv_httpd.Deploy.config list ->
   unit ->
@@ -66,7 +78,8 @@ val run_matrix :
 (** Every attack against every configuration. Cells are independent
     (each builds a fresh system); under [parallel] (default:
     [NV_PARALLEL]) they run concurrently on the shared domain pool,
-    with results reassembled in deterministic matrix order. *)
+    with results reassembled in deterministic matrix order. [recover]
+    as in {!run_attack} (recovered-vs-halted comparison). *)
 
 val render_matrix : matrix -> string
 (** Table: attacks as rows, configurations as columns. *)

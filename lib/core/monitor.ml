@@ -38,6 +38,9 @@ type t = {
   pool : Dompool.t option;  (* Some = run quanta on worker domains *)
   mutable tracer : (event -> unit) option;
   mutable signal : pending_signal option;
+  (* Fault-injection hook: perturb the replicated bytes a shared read
+     delivers to one variant (coordinator-only, like the tracer). *)
+  mutable input_fault : (variant:int -> string -> string) option;
   metrics : Metrics.t;
   calls_scope : Metrics.scope;
   latency_scope : Metrics.scope;
@@ -94,6 +97,7 @@ let create ?metrics ?parallel ?pool ?(segment_size = 1 lsl 20)
     pool;
     tracer = None;
     signal = None;
+    input_fault = None;
     metrics;
     calls_scope = Metrics.sub scope "calls";
     latency_scope = Metrics.sub scope "latency_instr";
@@ -176,6 +180,8 @@ let stats t =
   }
 
 let set_tracer t f = t.tracer <- Some f
+
+let set_input_fault t f = t.input_fault <- f
 
 let all_equal arr = Array.for_all (fun x -> x = arr.(0)) arr
 
@@ -345,19 +351,38 @@ let dispatch t ~now_instr (raws : Sysabi.raw array) =
     let len = Word.to_signed (canon_int t ~raws ~syscall ~index:2) in
     let count, data = Kernel.sys_read k ~fd ~len in
     (match data with
-    | Kernel.Shared_data bytes ->
+    | Kernel.Shared_data bytes -> (
       Metrics.add t.input_bytes_replicated_c (max 0 count);
-      trace t ~syscall ~raws
-        (Printf.sprintf "read(%d): performed once, %d bytes replicated to all variants" fd
-           count);
-      Array.iteri
-        (fun i buf ->
-          if count > 0 then
-            try Sysabi.write_bytes t.variants.(i).Image.memory ~addr:buf bytes
-            with Memory.Fault { addr; access } ->
-              raise (Marshal_fault { variant = i; fault = Cpu.Segfault { addr; access } }))
-        bufs;
-      deliver_same t (Word.of_signed count)
+      match t.input_fault with
+      | Some perturb when count > 0 ->
+        (* Fault injection: each variant receives a possibly-perturbed
+           copy of the replicated input, with its own byte count. *)
+        trace t ~syscall ~raws
+          (Printf.sprintf "read(%d): %d bytes replicated with fault injection" fd count);
+        let chunks =
+          Array.init (Array.length t.variants) (fun i -> perturb ~variant:i bytes)
+        in
+        Array.iteri
+          (fun i buf ->
+            if String.length chunks.(i) > 0 then begin
+              try Sysabi.write_bytes t.variants.(i).Image.memory ~addr:buf chunks.(i)
+              with Memory.Fault { addr; access } ->
+                raise (Marshal_fault { variant = i; fault = Cpu.Segfault { addr; access } })
+            end)
+          bufs;
+        deliver t (Array.map (fun c -> Word.mask (String.length c)) chunks)
+      | Some _ | None ->
+        trace t ~syscall ~raws
+          (Printf.sprintf "read(%d): performed once, %d bytes replicated to all variants" fd
+             count);
+        Array.iteri
+          (fun i buf ->
+            if count > 0 then
+              try Sysabi.write_bytes t.variants.(i).Image.memory ~addr:buf bytes
+              with Memory.Fault { addr; access } ->
+                raise (Marshal_fault { variant = i; fault = Cpu.Segfault { addr; access } }))
+          bufs;
+        deliver_same t (Word.of_signed count))
     | Kernel.Per_variant chunks ->
       trace t ~syscall ~raws
         (Printf.sprintf "read(%d): unshared file, each variant reads its own copy" fd);
@@ -750,3 +775,30 @@ let run ?(fuel = 50_000_000) t =
     end
   in
   loop (instructions_retired t)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  snap_images : Image.snapshot array;
+  snap_kernel : Kernel.snapshot;
+}
+
+let snapshot t =
+  {
+    snap_images = Array.map Image.snapshot t.variants;
+    snap_kernel = Kernel.snapshot t.kernel;
+  }
+
+let restore t snap =
+  Array.iteri (fun i s -> Image.restore t.variants.(i) s) snap.snap_images;
+  let dropped = Kernel.restore t.kernel snap.snap_kernel in
+  (* A pending signal references pre-rollback execution baselines; it
+     cannot survive the rollback. *)
+  t.signal <- None;
+  (* The retired-instruction totals just jumped backwards with the CPU
+     restore; re-anchor the latency baseline so the next rendezvous
+     does not observe a negative interval. *)
+  t.last_rendezvous_instr <- instructions_retired t;
+  dropped

@@ -159,3 +159,30 @@ val post_signal : t -> handler:string -> mode:signal_mode -> (unit, string) resu
     pending. *)
 
 val signal_pending : t -> bool
+
+(** {1 Checkpointing}
+
+    The state captured is exactly what rendezvous-determinism depends
+    on: every variant's CPU + memory ({!Nv_vm.Image.snapshot}) and the
+    kernel ({!Nv_os.Kernel.snapshot}). Metrics are {e not} rolled back
+    (counters stay monotonic); the listener's pending-accept queue is
+    preserved so connections queued after the checkpoint are still
+    served. Take snapshots only while the system is parked at a
+    rendezvous boundary ({!Blocked_on_accept} or before the first
+    {!run}) — the supervisor enforces this. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> int
+(** Roll every variant and the kernel back to [snap]; returns the
+    number of live connections dropped. Any pending signal is
+    discarded and the latency baseline re-anchored. A snapshot may be
+    restored any number of times. *)
+
+val set_input_fault : t -> (variant:int -> string -> string) option -> unit
+(** Install (or clear) a fault-injection hook on replicated input:
+    when set, each shared read's bytes pass through the hook per
+    variant, and each variant receives its own possibly-perturbed copy
+    with its own byte count. Used by [Nv_attacks.Faultgen]. *)

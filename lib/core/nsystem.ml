@@ -2,7 +2,12 @@ module Vfs = Nv_os.Vfs
 module Passwd = Nv_os.Passwd
 module Kernel = Nv_os.Kernel
 
-type t = { kernel : Kernel.t; monitor : Monitor.t; variation : Variation.t }
+type t = {
+  kernel : Kernel.t;
+  monitor : Monitor.t;
+  variation : Variation.t;
+  supervisor : Supervisor.t option;
+}
 
 let install_diversified vfs ~variation ~path ~reexpress_file content =
   Vfs.install vfs ~path content;
@@ -37,19 +42,24 @@ let standard_vfs ~variation () =
     ~path:"/var/log/httpd.log" "";
   vfs
 
-let create ?vfs ?parallel ?segment_size ~variation images =
+let create ?vfs ?parallel ?segment_size ?recover ~variation images =
   let vfs = match vfs with Some v -> v | None -> standard_vfs ~variation () in
   let kernel = Kernel.create ~variants:(Variation.count variation) vfs in
   let monitor = Monitor.create ?parallel ?segment_size ~kernel ~variation images in
-  { kernel; monitor; variation }
+  let supervisor =
+    Option.map (fun config -> Supervisor.create ~config monitor) recover
+  in
+  { kernel; monitor; variation; supervisor }
 
-let of_one_image ?vfs ?parallel ?segment_size ~variation image =
-  create ?vfs ?parallel ?segment_size ~variation
+let of_one_image ?vfs ?parallel ?segment_size ?recover ~variation image =
+  create ?vfs ?parallel ?segment_size ?recover ~variation
     (Array.make (Variation.count variation) image)
 
 let kernel t = t.kernel
 
 let monitor t = t.monitor
+
+let supervisor t = t.supervisor
 
 let variation t = t.variation
 
@@ -57,14 +67,20 @@ let metrics t = Monitor.metrics t.monitor
 
 let connect t = Kernel.connect t.kernel
 
-let run ?fuel t = Monitor.run ?fuel t.monitor
+(* All stepping goes through the supervisor when one is attached, so
+   recovery applies uniformly to [run], [serve] and everything built
+   on them. *)
+let run ?fuel t =
+  match t.supervisor with
+  | Some s -> Supervisor.run ?fuel s
+  | None -> Monitor.run ?fuel t.monitor
 
 type serve_result = Served of string | Stopped of Monitor.outcome
 
 let serve ?fuel t request =
   (* Make sure the server is parked on accept before connecting. *)
   let parked =
-    match Monitor.run ?fuel t.monitor with
+    match run ?fuel t with
     | Monitor.Blocked_on_accept -> Ok ()
     | other -> Error other
   in
@@ -74,6 +90,6 @@ let serve ?fuel t request =
     let conn = Kernel.connect t.kernel in
     Nv_os.Socket.client_send conn request;
     Nv_os.Socket.client_close conn;
-    match Monitor.run ?fuel t.monitor with
+    match run ?fuel t with
     | Monitor.Blocked_on_accept -> Served (Nv_os.Socket.client_recv conn)
     | outcome -> Stopped outcome)

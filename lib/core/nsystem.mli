@@ -21,16 +21,21 @@ val create :
   ?vfs:Nv_os.Vfs.t ->
   ?parallel:bool ->
   ?segment_size:int ->
+  ?recover:Supervisor.config ->
   variation:Variation.t ->
   Nv_vm.Image.t array ->
   t
 (** Build the system. [images] and [parallel] as in {!Monitor.create}.
-    When [vfs] is omitted, {!standard_vfs} is used. *)
+    When [vfs] is omitted, {!standard_vfs} is used. When [recover] is
+    given, a {!Supervisor} with that config wraps the monitor: {!run}
+    and {!serve} then roll back and resume on alarms instead of
+    fail-stopping, until the restart budget is exhausted. *)
 
 val of_one_image :
   ?vfs:Nv_os.Vfs.t ->
   ?parallel:bool ->
   ?segment_size:int ->
+  ?recover:Supervisor.config ->
   variation:Variation.t ->
   Nv_vm.Image.t ->
   t
@@ -40,6 +45,11 @@ val of_one_image :
 
 val kernel : t -> Nv_os.Kernel.t
 val monitor : t -> Monitor.t
+
+val supervisor : t -> Supervisor.t option
+(** The recovery supervisor, when the system was built with
+    [?recover]. *)
+
 val variation : t -> Variation.t
 
 val metrics : t -> Nv_util.Metrics.t
@@ -50,7 +60,8 @@ val connect : t -> Nv_os.Socket.conn
 (** Open a client connection to the guest server's listener. *)
 
 val run : ?fuel:int -> t -> Monitor.outcome
-(** Step the whole system (delegates to {!Monitor.run}). *)
+(** Step the whole system: {!Supervisor.run} when a supervisor is
+    attached, {!Monitor.run} otherwise. *)
 
 type serve_result =
   | Served of string  (** the response bytes the client received *)

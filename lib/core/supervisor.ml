@@ -1,0 +1,121 @@
+module Metrics = Nv_util.Metrics
+
+type config = {
+  checkpoint_interval : int;
+  max_recoveries : int;
+  recovery_window : int;
+}
+
+let default_config =
+  { checkpoint_interval = 1; max_recoveries = 8; recovery_window = 100_000 }
+
+type t = {
+  monitor : Monitor.t;
+  config : config;
+  mutable checkpoint : Monitor.snapshot;
+  mutable checkpoint_rv : int;  (* rendezvous count at the checkpoint *)
+  mutable recovery_stamps : int list;  (* rendezvous counts, newest first *)
+  mutable last_alarm : Alarm.reason option;
+  mutable exhausted : bool;
+  recoveries_c : Metrics.counter;
+  dropped_c : Metrics.counter;
+  checkpoints_c : Metrics.counter;
+  failstop_c : Metrics.counter;
+}
+
+let create ?(config = default_config) monitor =
+  if config.checkpoint_interval < 1 then
+    invalid_arg "Supervisor.create: checkpoint_interval must be >= 1";
+  if config.max_recoveries < 0 then
+    invalid_arg "Supervisor.create: max_recoveries must be >= 0";
+  if config.recovery_window < 1 then
+    invalid_arg "Supervisor.create: recovery_window must be >= 1";
+  let scope = Metrics.scope (Monitor.metrics monitor) "supervisor" in
+  let t =
+    {
+      monitor;
+      config;
+      (* The initial checkpoint is the pre-run entry state, so recovery
+         is defined from the very first quantum. *)
+      checkpoint = Monitor.snapshot monitor;
+      checkpoint_rv = Monitor.rendezvous_count monitor;
+      recovery_stamps = [];
+      last_alarm = None;
+      exhausted = false;
+      recoveries_c = Metrics.counter scope "recoveries";
+      dropped_c = Metrics.counter scope "dropped_connections";
+      checkpoints_c = Metrics.counter scope "checkpoints";
+      failstop_c = Metrics.counter scope "failstop";
+    }
+  in
+  Metrics.incr t.checkpoints_c;
+  t
+
+let monitor t = t.monitor
+
+let config t = t.config
+
+let recoveries t = Metrics.counter_value t.recoveries_c
+
+let dropped_connections t = Metrics.counter_value t.dropped_c
+
+let checkpoints t = Metrics.counter_value t.checkpoints_c
+
+let last_alarm t = t.last_alarm
+
+let exhausted t = t.exhausted
+
+(* Checkpoints are only taken at [Blocked_on_accept]: every variant is
+   parked at an equivalent rendezvous boundary with its pc rewound to
+   the accept instruction, so a restore resumes the accept loop with no
+   half-performed syscall in flight. *)
+let maybe_checkpoint t =
+  let now = Monitor.rendezvous_count t.monitor in
+  if now - t.checkpoint_rv >= t.config.checkpoint_interval then begin
+    t.checkpoint <- Monitor.snapshot t.monitor;
+    t.checkpoint_rv <- now;
+    Metrics.incr t.checkpoints_c
+  end
+
+(* The restart budget: at most [max_recoveries] rollbacks within any
+   [recovery_window] rendezvous. A deterministic crash loop (an alarm
+   that recovery cannot clear, e.g. one raised before any connection
+   is accepted) burns through the budget and degrades to fail-stop
+   rather than looping forever. *)
+let budget_available t ~now =
+  t.recovery_stamps <-
+    List.filter (fun s -> now - s < t.config.recovery_window) t.recovery_stamps;
+  List.length t.recovery_stamps < t.config.max_recoveries
+
+let run ?fuel t =
+  let rec go () =
+    match Monitor.run ?fuel t.monitor with
+    | Monitor.Blocked_on_accept ->
+      maybe_checkpoint t;
+      Monitor.Blocked_on_accept
+    | Monitor.Alarm reason ->
+      t.last_alarm <- Some reason;
+      let now = Monitor.rendezvous_count t.monitor in
+      if t.exhausted || not (budget_available t ~now) then begin
+        t.exhausted <- true;
+        Metrics.incr t.failstop_c;
+        Logs.warn ~src:Nv_util.Logsrc.monitor (fun m ->
+            m "supervisor: recovery budget exhausted, failing stop on %a" Alarm.pp
+              reason);
+        Monitor.Alarm reason
+      end
+      else begin
+        let dropped = Monitor.restore t.monitor t.checkpoint in
+        t.recovery_stamps <- now :: t.recovery_stamps;
+        Metrics.incr t.recoveries_c;
+        Metrics.add t.dropped_c dropped;
+        Logs.info ~src:Nv_util.Logsrc.monitor (fun m ->
+            m "supervisor: rolled back to checkpoint (%d connection%s dropped) on %a"
+              dropped
+              (if dropped = 1 then "" else "s")
+              Alarm.pp reason);
+        go ()
+      end
+    | (Monitor.Exited _ | Monitor.Out_of_fuel) as outcome -> outcome
+  in
+  go ()

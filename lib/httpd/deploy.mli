@@ -29,12 +29,14 @@ val build :
   ?log_uid:bool ->
   ?mode:Nv_transform.Uid_transform.mode ->
   ?parallel:bool ->
+  ?recover:Nv_core.Supervisor.config ->
   config ->
   (Nv_core.Nsystem.t, string) result
 (** Compile (and transform, for configurations 2 and 4) the server,
     populate the world (standard files + document root + diversified
     unshared copies), and assemble the system. Each call builds a fresh
-    system. [parallel] as in {!Nv_core.Monitor.create}. *)
+    system. [parallel] as in {!Nv_core.Monitor.create}; [recover]
+    attaches a recovery supervisor as in {!Nv_core.Nsystem.create}. *)
 
 val transform_report :
   ?log_uid:bool ->

@@ -147,48 +147,56 @@ let sys_exit t ~status =
 
 let variant_path path i = Printf.sprintf "%s-%d" path i
 
-let open_one t path flags =
-  let access =
-    if flags land (Syscall.o_wronly lor Syscall.o_append) <> 0 then Vfs.Write_access
-    else Vfs.Read_access
-  in
+let open_access flags =
+  if flags land (Syscall.o_wronly lor Syscall.o_append) <> 0 then Vfs.Write_access
+  else Vfs.Read_access
+
+(* Validation and descriptor construction are separate steps: a
+   multi-path (unshared) open must not truncate any per-variant copy
+   until every copy has been validated, or a partial failure leaves
+   the diversified files diverged. *)
+let check_open t path access =
   match Vfs.open_file t.vfs ~cred:t.cred ~path ~access with
-  | Error _ -> None
-  | Ok () ->
-    let writable = access = Vfs.Write_access in
-    let append = flags land Syscall.o_append <> 0 in
-    if writable && not append then ignore (Vfs.set_contents t.vfs ~path "");
-    Some (Dfile { path; pos = 0; writable; append })
+  | Ok () -> true
+  | Error _ -> false
+
+let make_desc t path flags access =
+  let writable = access = Vfs.Write_access in
+  let append = flags land Syscall.o_append <> 0 in
+  if writable && not append then ignore (Vfs.set_contents t.vfs ~path "");
+  Dfile { path; pos = 0; writable; append }
 
 let sys_open t ~path ~flags =
   count t "open";
   match alloc_fd t with
   | None -> err
   | Some fd ->
+    let access = open_access flags in
     if is_unshared t path then begin
-      let descs =
-        Array.init t.variants (fun i -> open_one t (variant_path path i) flags)
-      in
-      if Array.for_all Option.is_some descs then begin
-        t.fds.(fd) <- Unshared (Array.map Option.get descs);
+      let paths = Array.init t.variants (variant_path path) in
+      if Array.for_all (fun p -> check_open t p access) paths then begin
+        t.fds.(fd) <- Unshared (Array.map (fun p -> make_desc t p flags access) paths);
         fd_delta t 1;
         fd
       end
       else err
     end
-    else begin
-      match open_one t path flags with
-      | None -> err
-      | Some desc ->
-        t.fds.(fd) <- Shared desc;
-        fd_delta t 1;
-        fd
+    else if check_open t path access then begin
+      t.fds.(fd) <- Shared (make_desc t path flags access);
+      fd_delta t 1;
+      fd
     end
+    else err
 
 let sys_close t ~fd =
   count t "close";
   match slot t fd with
   | Free -> err
+  | Shared Dlistener ->
+    (* The preopened listener slot is reserved: freeing it would let
+       [alloc_fd] hand the canonical listen fd to a regular file while
+       accept traffic still queues, wedging the server forever. *)
+    err
   | Shared (Dconn conn) ->
     Socket.server_close conn;
     t.fds.(fd) <- Free;
@@ -199,36 +207,66 @@ let sys_close t ~fd =
     fd_delta t (-1);
     0
 
+(* Whether a read on [desc] can be performed at all — used to validate
+   every branch of an unshared read before any descriptor position
+   advances. *)
+let desc_readable t = function
+  | Dnull | Dcapture _ | Dlistener | Dconn _ -> true
+  | Dfile f -> Result.is_ok (Vfs.contents t.vfs ~path:f.path)
+
 let read_desc t desc len =
   match desc with
-  | Dnull -> ""
-  | Dcapture _ -> ""
-  | Dlistener -> ""
-  | Dconn conn -> Socket.server_read conn ~max:len
+  | Dnull -> Ok ""
+  | Dcapture _ -> Ok ""
+  | Dlistener -> Ok ""
+  | Dconn conn -> Ok (Socket.server_read conn ~max:len)
   | Dfile f -> (
     match Vfs.contents t.vfs ~path:f.path with
-    | Error _ -> ""
+    | Error _ ->
+      (* A vanished backing file is an I/O error, not end-of-file. *)
+      Error ()
     | Ok content ->
       let available = String.length content - f.pos in
       let n = max 0 (min len available) in
       let data = String.sub content f.pos n in
       f.pos <- f.pos + n;
-      data)
+      Ok data)
 
 let sys_read t ~fd ~len =
   count t "read";
   let len = max 0 len in
   match slot t fd with
   | Free -> (Nv_vm.Word.to_signed err, Shared_data "")
-  | Shared desc ->
-    let data = read_desc t desc len in
-    Metrics.add t.shared_bytes_in (String.length data);
-    (String.length data, Shared_data data)
+  | Shared desc -> (
+    match read_desc t desc len with
+    | Error () -> (Nv_vm.Word.to_signed err, Shared_data "")
+    | Ok data ->
+      Metrics.add t.shared_bytes_in (String.length data);
+      (String.length data, Shared_data data))
   | Unshared descs ->
-    let chunks = Array.map (fun desc -> read_desc t desc len) descs in
-    Array.iter (fun c -> Metrics.add t.unshared_bytes_in (String.length c)) chunks;
-    let n = if Array.length chunks > 0 then String.length chunks.(0) else 0 in
-    (n, Per_variant chunks)
+    if not (Array.for_all (desc_readable t) descs) then
+      (* Error on any copy fails the whole call before any copy's
+         position advances, so the variants stay in step. *)
+      (Nv_vm.Word.to_signed err, Shared_data "")
+    else begin
+      let chunks =
+        Array.map
+          (fun desc ->
+            match read_desc t desc len with Ok data -> data | Error () -> assert false)
+          descs
+      in
+      Array.iter (fun c -> Metrics.add t.unshared_bytes_in (String.length c)) chunks;
+      let n = if Array.length chunks > 0 then String.length chunks.(0) else 0 in
+      (n, Per_variant chunks)
+    end
+
+(* Whether a write on [desc] can succeed — used to validate every
+   branch of an unshared write before any bytes are persisted, so a
+   partial failure cannot leave the diversified copies diverged. *)
+let desc_writable t = function
+  | Dnull | Dcapture _ | Dconn _ -> true
+  | Dlistener -> false
+  | Dfile f -> f.writable && Result.is_ok (Vfs.contents t.vfs ~path:f.path)
 
 let write_desc t desc bytes =
   match desc with
@@ -246,6 +284,14 @@ let write_desc t desc bytes =
       | Ok () -> String.length bytes
     end
 
+let write_unshared t descs chunk_of =
+  if not (Array.for_all (desc_writable t) descs) then Nv_vm.Word.to_signed err
+  else begin
+    let results = Array.mapi (fun i desc -> write_desc t desc (chunk_of i)) descs in
+    Array.iter (fun r -> if r > 0 then Metrics.add t.unshared_bytes_out r) results;
+    Array.fold_left min max_int results
+  end
+
 let sys_write t ~fd ~data =
   count t "write";
   match (slot t fd, data) with
@@ -262,13 +308,8 @@ let sys_write t ~fd ~data =
     if result > 0 then Metrics.add t.shared_bytes_out result;
     result
   | (Unshared descs, Per_variant chunks) when Array.length chunks = Array.length descs ->
-    let results = Array.map2 (fun desc bytes -> write_desc t desc bytes) descs chunks in
-    Array.iter (fun r -> if r > 0 then Metrics.add t.unshared_bytes_out r) results;
-    Array.fold_left min max_int results
-  | (Unshared descs, Shared_data bytes) ->
-    let results = Array.map (fun desc -> write_desc t desc bytes) descs in
-    Array.iter (fun r -> if r > 0 then Metrics.add t.unshared_bytes_out r) results;
-    Array.fold_left min max_int results
+    write_unshared t descs (fun i -> chunks.(i))
+  | (Unshared descs, Shared_data bytes) -> write_unshared t descs (fun _ -> bytes)
   | (Unshared _, Per_variant _) -> Nv_vm.Word.to_signed err
 
 let sys_accept t ~fd =
@@ -332,3 +373,76 @@ let conn_of_fd t ~fd =
   match slot t fd with
   | Shared (Dconn conn) -> Some conn
   | Free | Shared _ | Unshared _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  snap_cred : Cred.t;
+  snap_fds : slot array;
+  snap_files : (string * string * Vfs.attrs) list;
+  snap_stdout : int;
+  snap_stderr : int;
+  snap_exit : int option;
+}
+
+let copy_desc = function
+  | Dnull -> Dnull
+  (* Capture descriptors alias the kernel's own stdout/stderr buffers,
+     whose lengths are checkpointed separately. *)
+  | Dcapture buf -> Dcapture buf
+  | Dfile f -> Dfile { f with pos = f.pos }
+  | Dlistener -> Dlistener
+  | Dconn conn -> Dconn conn
+
+(* Connections are live protocol state shared with the outside world;
+   they cannot be rolled back, so a checkpoint records their slots as
+   free and [restore] closes whatever connections are open. *)
+let copy_slot = function
+  | Free -> Free
+  | Shared (Dconn _) -> Free
+  | Shared desc -> Shared (copy_desc desc)
+  | Unshared descs -> Unshared (Array.map copy_desc descs)
+
+let snapshot t =
+  {
+    snap_cred = t.cred;
+    snap_fds = Array.map copy_slot t.fds;
+    snap_files = Vfs.dump_files t.vfs;
+    snap_stdout = Buffer.length t.stdout;
+    snap_stderr = Buffer.length t.stderr;
+    snap_exit = t.exit_status;
+  }
+
+let restore t snap =
+  let dropped = ref 0 in
+  Array.iter
+    (fun s ->
+      match s with
+      | Shared (Dconn conn) ->
+        Socket.server_close conn;
+        incr dropped
+      | Free | Shared _ | Unshared _ -> ())
+    t.fds;
+  (* Deep-copy again on the way back so the snapshot stays pristine and
+     can be restored any number of times. *)
+  Array.iteri (fun i s -> t.fds.(i) <- copy_slot s) snap.snap_fds;
+  t.cred <- snap.snap_cred;
+  t.exit_status <- snap.snap_exit;
+  (* Reinstate checkpointed file contents and attributes (re-creating
+     removed files). Files created after the checkpoint are left in
+     place; the fd table restore drops any descriptor for them. *)
+  List.iter
+    (fun (path, content, attrs) -> Vfs.install t.vfs ~attrs ~path content)
+    snap.snap_files;
+  if Buffer.length t.stdout >= snap.snap_stdout then
+    Buffer.truncate t.stdout snap.snap_stdout;
+  if Buffer.length t.stderr >= snap.snap_stderr then
+    Buffer.truncate t.stderr snap.snap_stderr;
+  t.open_fds <-
+    Array.fold_left
+      (fun acc s -> match s with Free -> acc | Shared _ | Unshared _ -> acc + 1)
+      0 t.fds;
+  Metrics.set_gauge t.fds_open (float_of_int t.open_fds);
+  !dropped

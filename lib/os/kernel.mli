@@ -110,3 +110,24 @@ val fd_is_unshared : t -> fd:int -> bool
 val conn_of_fd : t -> fd:int -> Socket.conn option
 (** The connection behind a socket fd, if any (used by tests and the
     workload driver). *)
+
+(** {1 Checkpointing}
+
+    Used by the supervisor's recovery layer. A snapshot captures
+    credentials, the fd table (descriptor kinds, file positions),
+    every VFS file's content and attributes, the stdout/stderr
+    lengths and the exit status. Live connections are {e not}
+    checkpointed: their slots are recorded as free, and {!restore}
+    closes any connection open at restore time. The listener's
+    pending-accept queue, metrics counters and the syscall count are
+    deliberately left untouched (counters stay monotonic across
+    rollbacks). *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> int
+(** Roll the kernel back to [snap]; returns the number of live
+    connections that were closed. A snapshot may be restored any
+    number of times. *)

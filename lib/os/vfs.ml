@@ -100,6 +100,19 @@ let install t ?(attrs = default_file_attrs) ~path content =
   in
   descend t.root parents
 
+let remove t path =
+  let parents, name = split_parent path in
+  match lookup t.root parents with
+  | Error _ as e -> e
+  | Ok (File _) -> Error Enotdir
+  | Ok (Dir { entries; _ }) -> (
+    match Hashtbl.find_opt entries name with
+    | None -> Error Enoent
+    | Some (Dir _) -> Error Eisdir
+    | Some (File _) ->
+      Hashtbl.remove entries name;
+      Ok ())
+
 (* ------------------------------------------------------------------ *)
 (* Permission checking                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -210,6 +223,17 @@ let is_dir t path = match find t path with Ok (Dir _) -> true | Ok (File _) | Er
 
 let stat t path =
   match find t path with Error _ as e -> e | Ok node -> Ok (node_attrs node)
+
+let dump_files t =
+  let rec walk prefix node acc =
+    match node with
+    | File { content; attrs } -> (prefix, content, attrs) :: acc
+    | Dir { entries; _ } ->
+      Hashtbl.fold (fun name child acc -> (name, child) :: acc) entries []
+      |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
+      |> List.fold_left (fun acc (name, child) -> walk (prefix ^ "/" ^ name) child acc) acc
+  in
+  List.rev (walk "" t.root [])
 
 let list_dir t path =
   match find t path with

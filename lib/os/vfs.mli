@@ -32,6 +32,10 @@ val install : t -> ?attrs:attrs -> path:string -> string -> unit
 (** Create or replace a file with the given content (default attrs:
     [0o644], root/root). Parent directories are created as needed. *)
 
+val remove : t -> string -> (unit, error) result
+(** Unlink a file (setup/maintenance interface, no permission checks).
+    [Enoent] if missing, [Eisdir] for a directory. *)
+
 (* Runtime interface: permission-checked. *)
 
 type access = Read_access | Write_access
@@ -57,3 +61,7 @@ val is_dir : t -> string -> bool
 val stat : t -> string -> (attrs, error) result
 val list_dir : t -> string -> (string list, error) result
 (** Sorted entry names. *)
+
+val dump_files : t -> (string * string * attrs) list
+(** Every regular file as [(absolute path, content, attrs)], sorted by
+    path (a deterministic walk). Used by kernel checkpointing. *)

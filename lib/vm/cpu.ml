@@ -46,6 +46,16 @@ let instructions_retired t = t.retired
 
 let expected_tag t = t.expected_tag
 
+type snapshot = { snap_regs : int array; snap_pc : int; snap_retired : int }
+
+let snapshot t =
+  { snap_regs = Array.copy t.regs; snap_pc = t.pc; snap_retired = t.retired }
+
+let restore t snap =
+  Array.blit snap.snap_regs 0 t.regs 0 16;
+  t.pc <- snap.snap_pc;
+  t.retired <- snap.snap_retired
+
 let operand_value t = function Isa.Reg r -> t.regs.(r) | Isa.Imm w -> w
 
 (* Execute one already-decoded instruction. Factored out of [step] so

@@ -55,6 +55,14 @@ val instructions_retired : t -> int
 
 val expected_tag : t -> int
 
+type snapshot
+(** Architectural state checkpoint: all 16 registers, the pc, and the
+    retired-instruction count (restored too, so fuel accounting and
+    instruction-count fingerprints roll back with the machine state). *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
 val step : t -> trap option
 (** Execute one instruction. [None] means normal advancement. After a
     [Syscall_trap] the pc already points at the next instruction, so

@@ -72,3 +72,12 @@ let load ?(stack_size = 16 * 1024) t ~base ~size ~tag =
   { cpu; memory; layout }
 
 let abs_symbol loaded name = List.assoc name loaded.layout.abs_symbols
+
+type snapshot = { snap_cpu : Cpu.snapshot; snap_memory : Memory.snapshot }
+
+let snapshot { cpu; memory; _ } =
+  { snap_cpu = Cpu.snapshot cpu; snap_memory = Memory.snapshot memory }
+
+let restore { cpu; memory; _ } snap =
+  Cpu.restore cpu snap.snap_cpu;
+  Memory.restore memory snap.snap_memory

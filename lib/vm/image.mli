@@ -51,3 +51,15 @@ val load : ?stack_size:int -> t -> base:int -> size:int -> tag:int -> loaded
 val abs_symbol : loaded -> string -> int
 (** Absolute address of a symbol in a loaded instance. Raises
     [Not_found]. *)
+
+type snapshot
+(** A checkpoint of one loaded variant: the CPU's architectural state
+    ({!Cpu.snapshot}) plus the full segment bytes
+    ({!Memory.snapshot}). The layout is immutable and not captured. *)
+
+val snapshot : loaded -> snapshot
+
+val restore : loaded -> snapshot -> unit
+(** Roll the variant back to the snapshot. The segment's
+    decoded-instruction cache is invalidated as part of the memory
+    restore. *)

@@ -44,6 +44,23 @@ let to_offset t addr =
   addr - t.base
 
 (* ------------------------------------------------------------------ *)
+(* Checkpointing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = Bytes.t
+
+let snapshot t = Bytes.copy t.data
+
+let restore t snap =
+  if Bytes.length snap <> t.size then
+    invalid_arg "Memory.restore: snapshot is for a different segment size";
+  Bytes.blit snap 0 t.data 0 t.size;
+  (* The rolled-back bytes may differ anywhere in the segment, so the
+     whole decode cache is invalid; drop it and let fetches refill it
+     lazily, exactly as on first execution. *)
+  t.icache <- None
+
+(* ------------------------------------------------------------------ *)
 (* Predecoded-instruction cache                                        *)
 (* ------------------------------------------------------------------ *)
 

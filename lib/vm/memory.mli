@@ -30,6 +30,20 @@ val to_offset : t -> int -> int
     paper's canonicalization function for address partitioning). Raises
     [Fault] if out of range. *)
 
+type snapshot
+(** A checkpoint of a segment's bytes (the base/size geometry is not
+    captured; a snapshot can only be restored into the segment it was
+    taken from, or one with the same size). *)
+
+val snapshot : t -> snapshot
+(** Copy of the full segment contents. *)
+
+val restore : t -> snapshot -> unit
+(** Overwrite the segment with the snapshot bytes and invalidate the
+    whole decoded-instruction cache (the rollback may change code
+    bytes, so every cached decode is suspect). Raises
+    [Invalid_argument] on a segment-size mismatch. *)
+
 val load_byte : t -> int -> int
 val store_byte : t -> int -> int -> unit
 

@@ -208,6 +208,32 @@ let test_vfs_truncate () =
   | Ok c -> Alcotest.(check string) "empty" "" c
   | Error _ -> Alcotest.fail "exists"
 
+let test_vfs_remove () =
+  let fs = world () in
+  (match Vfs.remove fs "/etc/passwd" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "remove should succeed");
+  (match Vfs.contents fs ~path:"/etc/passwd" with
+  | Error Vfs.Enoent -> ()
+  | _ -> Alcotest.fail "file should be gone");
+  (match Vfs.remove fs "/etc/passwd" with
+  | Error Vfs.Enoent -> ()
+  | _ -> Alcotest.fail "ENOENT expected");
+  match Vfs.remove fs "/etc" with
+  | Error Vfs.Eisdir -> ()
+  | _ -> Alcotest.fail "EISDIR expected"
+
+let test_vfs_dump_files () =
+  let fs = world () in
+  let files = Vfs.dump_files fs in
+  Alcotest.(check (list string))
+    "paths sorted"
+    [ "/etc/passwd"; "/etc/shadow"; "/home/alice/notes.txt" ]
+    (List.map (fun (p, _, _) -> p) files);
+  let _, content, attrs = List.find (fun (p, _, _) -> p = "/etc/shadow") files in
+  Alcotest.(check string) "content" "secret\n" content;
+  Alcotest.(check int) "mode" 0o600 attrs.Vfs.mode
+
 let test_vfs_traversal_normalization () =
   let fs = world () in
   let read path =
@@ -464,6 +490,94 @@ let test_kernel_fd_exhaustion () =
   Alcotest.(check int) "exhausted" (Nv_vm.Word.of_signed (-1))
     (Kernel.sys_open k ~path:"/f" ~flags:0)
 
+(* A failed unshared open must not have truncated any per-variant copy
+   (regression: the old code truncated copies one by one before
+   discovering a later copy was missing, leaving the diversified files
+   diverged). *)
+let test_kernel_unshared_open_no_partial_truncate () =
+  let k = make_kernel () in
+  Kernel.register_unshared k "/etc/notes";
+  Vfs.install (Kernel.vfs k) ~path:"/etc/notes-0" "keep me";
+  (* /etc/notes-1 does not exist, so the open must fail as a whole. *)
+  Alcotest.(check int) "open fails" (Nv_vm.Word.of_signed (-1))
+    (Kernel.sys_open k ~path:"/etc/notes" ~flags:Syscall.o_wronly);
+  match Vfs.contents (Kernel.vfs k) ~path:"/etc/notes-0" with
+  | Ok c -> Alcotest.(check string) "variant 0 copy not truncated" "keep me" c
+  | Error _ -> Alcotest.fail "variant 0 copy should still exist"
+
+(* The preopened listener slot must never be freed (regression: close
+   used to free it, letting the next open reallocate fd 3 while accept
+   traffic still queued). *)
+let test_kernel_listener_fd_reserved () =
+  let k = make_kernel () in
+  Alcotest.(check int) "close listener fails" (Nv_vm.Word.of_signed (-1))
+    (Kernel.sys_close k ~fd:Kernel.listen_fd);
+  let fd = Kernel.sys_open k ~path:"/etc/motd" ~flags:Syscall.o_rdonly in
+  Alcotest.(check bool) "listener slot not reallocated" true (fd > Kernel.listen_fd);
+  let conn = Kernel.connect k in
+  Socket.client_send conn "ping";
+  Alcotest.(check bool) "accept still works" true
+    (Kernel.sys_accept k ~fd:Kernel.listen_fd > Kernel.listen_fd)
+
+(* A vanished backing file is an I/O error, not end-of-file
+   (regression: read_desc mapped VFS errors to "", indistinguishable
+   from EOF). *)
+let test_kernel_read_error_not_eof () =
+  let k = make_kernel () in
+  let fd = Kernel.sys_open k ~path:"/etc/motd" ~flags:Syscall.o_rdonly in
+  (match Vfs.remove (Kernel.vfs k) "/etc/motd" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "remove");
+  match Kernel.sys_read k ~fd ~len:10 with
+  | -1, Kernel.Shared_data "" -> ()
+  | n, _ -> Alcotest.fail (Printf.sprintf "expected -1, got %d" n)
+
+(* An unshared read that fails on one copy must fail whole with no
+   position advanced on any copy. *)
+let test_kernel_unshared_read_error_no_partial_pos () =
+  let k = make_kernel () in
+  Kernel.register_unshared k "/etc/passwd";
+  let fd = Kernel.sys_open k ~path:"/etc/passwd" ~flags:Syscall.o_rdonly in
+  let first =
+    match Kernel.sys_read k ~fd ~len:10 with
+    | _, Kernel.Per_variant chunks -> chunks
+    | _ -> Alcotest.fail "per-variant read expected"
+  in
+  let saved = Result.get_ok (Vfs.contents (Kernel.vfs k) ~path:"/etc/passwd-1") in
+  (match Vfs.remove (Kernel.vfs k) "/etc/passwd-1" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "remove");
+  (match Kernel.sys_read k ~fd ~len:10 with
+  | -1, Kernel.Shared_data "" -> ()
+  | _ -> Alcotest.fail "error expected while a copy is missing");
+  Vfs.install (Kernel.vfs k) ~path:"/etc/passwd-1" saved;
+  match Kernel.sys_read k ~fd ~len:10 with
+  | _, Kernel.Per_variant chunks ->
+    let full0 = Result.get_ok (Vfs.contents (Kernel.vfs k) ~path:"/etc/passwd-0") in
+    (* If the failed read had advanced variant 0's position, this
+       concatenation would have a hole. *)
+    Alcotest.(check string) "variant 0 continues seamlessly" (String.sub full0 0 20)
+      (first.(0) ^ chunks.(0))
+  | _ -> Alcotest.fail "per-variant read expected"
+
+(* An unshared write that cannot succeed on every copy must fail with
+   no bytes written anywhere. *)
+let test_kernel_unshared_write_no_partial () =
+  let k = make_kernel () in
+  Kernel.register_unshared k "/var/cache";
+  Vfs.install (Kernel.vfs k) ~path:"/var/cache-0" "a";
+  Vfs.install (Kernel.vfs k) ~path:"/var/cache-1" "b";
+  let fd = Kernel.sys_open k ~path:"/var/cache" ~flags:Syscall.o_append in
+  Alcotest.(check bool) "opened" true (fd >= 3);
+  (match Vfs.remove (Kernel.vfs k) "/var/cache-1" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "remove");
+  Alcotest.(check int) "write fails" (-1)
+    (Kernel.sys_write k ~fd ~data:(Kernel.Shared_data "X"));
+  match Vfs.contents (Kernel.vfs k) ~path:"/var/cache-0" with
+  | Ok c -> Alcotest.(check string) "variant 0 copy untouched" "a" c
+  | Error _ -> Alcotest.fail "variant 0 copy should still exist"
+
 (* ------------------------------------------------------------------ *)
 (* Syscall metadata                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -521,6 +635,8 @@ let () =
           Alcotest.test_case "install replaces" `Quick test_vfs_install_replaces;
           Alcotest.test_case "stat" `Quick test_vfs_stat;
           Alcotest.test_case "truncate" `Quick test_vfs_truncate;
+          Alcotest.test_case "remove" `Quick test_vfs_remove;
+          Alcotest.test_case "dump files" `Quick test_vfs_dump_files;
           Alcotest.test_case "traversal normalization" `Quick
             test_vfs_traversal_normalization;
         ]
@@ -551,6 +667,14 @@ let () =
           Alcotest.test_case "bad fd" `Quick test_kernel_bad_fd;
           Alcotest.test_case "fd reuse" `Quick test_kernel_fd_reuse;
           Alcotest.test_case "fd exhaustion" `Quick test_kernel_fd_exhaustion;
+          Alcotest.test_case "unshared open: no partial truncate" `Quick
+            test_kernel_unshared_open_no_partial_truncate;
+          Alcotest.test_case "listener fd reserved" `Quick test_kernel_listener_fd_reserved;
+          Alcotest.test_case "read error is not EOF" `Quick test_kernel_read_error_not_eof;
+          Alcotest.test_case "unshared read error: no partial pos" `Quick
+            test_kernel_unshared_read_error_no_partial_pos;
+          Alcotest.test_case "unshared write: no partial" `Quick
+            test_kernel_unshared_write_no_partial;
         ] );
       ( "syscall",
         [
