@@ -387,6 +387,116 @@ let update_json_obj path updates =
   output_char oc '\n';
   close_out oc
 
+(* ------------------------------------------------------------------ *)
+(* fleet: open-loop serving at a million-user population               *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_users = 1_000_000
+
+let fleet_seed = 11
+
+let fleet_replicas = 8
+
+let fleet_spec arrival =
+  {
+    Nv_workload.Openload.replicas = fleet_replicas;
+    arrival;
+    duration_s = 30.0;
+    users = fleet_users;
+    attacks_per_10k = 2;
+  }
+
+let fleet_arrivals =
+  let rate = 2000.0 in
+  [
+    Nv_sim.Arrivals.Poisson { rate };
+    Nv_sim.Arrivals.Bursty { rate; burst_mean = 16.0; intra_gap_s = 0.0005 };
+    Nv_sim.Arrivals.Diurnal { rate; amplitude = 0.6; period_s = 15.0 };
+  ]
+
+let json_of_fleet (result : Nv_workload.Openload.result) =
+  let r = result.Nv_workload.Openload.fleet in
+  let num n = Json.Num (float_of_int n) in
+  Json.Obj
+    [
+      ("model", Json.Str r.Nv_sim.Fleet.model);
+      ("arrivals", num r.Nv_sim.Fleet.arrivals);
+      ("completed", num r.Nv_sim.Fleet.completed);
+      ("rejected", num r.Nv_sim.Fleet.rejected);
+      ("dropped", num r.Nv_sim.Fleet.dropped);
+      ("in_flight", num r.Nv_sim.Fleet.in_flight);
+      ("alarms", num r.Nv_sim.Fleet.alarms);
+      ("recoveries", num r.Nv_sim.Fleet.recoveries);
+      ("failstops", num r.Nv_sim.Fleet.failstops);
+      ("pool_hits", num r.Nv_sim.Fleet.pool_hits);
+      ("pool_misses", num r.Nv_sim.Fleet.pool_misses);
+      ("goodput_rps", Json.Num r.Nv_sim.Fleet.goodput_rps);
+      ("goodput_kb_s", Json.Num (r.Nv_sim.Fleet.goodput_bytes_per_s /. 1024.0));
+      ("latency_mean_ms", Json.Num r.Nv_sim.Fleet.latency_mean_ms);
+      ("latency_p50_ms", Json.Num r.Nv_sim.Fleet.latency_p50_ms);
+      ("latency_p99_ms", Json.Num r.Nv_sim.Fleet.latency_p99_ms);
+      ("latency_p999_ms", Json.Num r.Nv_sim.Fleet.latency_p999_ms);
+      ("availability", Json.Num r.Nv_sim.Fleet.availability);
+      ("error_budget_used", Json.Num r.Nv_sim.Fleet.error_budget_used);
+      ("uid_lookups", num result.Nv_workload.Openload.lookups);
+      ( "comparisons_per_lookup",
+        Json.Num result.Nv_workload.Openload.comparisons_per_lookup );
+    ]
+
+let report_fleet ?(path = "BENCH_results.json") () =
+  section
+    (Printf.sprintf "FLEET: open-loop serving, %d N-variant replicas, %d-user population"
+       fleet_replicas fleet_users);
+  match Deploy.build Deploy.Two_variant_uid with
+  | Error e -> Printf.printf "  FAILED (%s)\n" e
+  | Ok sys -> (
+    match Nv_workload.Measure.profile ~requests:bench_requests ~seed:fleet_seed sys with
+    | Error e -> Printf.printf "  profile FAILED (%s)\n" e
+    | Ok samples ->
+      let samples = Array.sub samples 1 (Array.length samples - 1) in
+      let variants = Variation.count (Deploy.variation Deploy.Two_variant_uid) in
+      let entries =
+        Nv_workload.Openload.population ~seed:fleet_seed ~users:fleet_users ()
+      in
+      let _vfs, sizes = Nv_workload.Openload.passwd_world ~entries ~variants in
+      Printf.printf "  unshared variant files:";
+      Array.iteri (fun i n -> Printf.printf " /etc/passwd-%d %d B" i n) sizes;
+      print_newline ();
+      let rows =
+        List.map
+          (fun arrival ->
+            let result =
+              Nv_workload.Openload.run ~seed:fleet_seed ~entries ~variants ~samples
+                (fleet_spec arrival)
+            in
+            let r = result.Nv_workload.Openload.fleet in
+            Printf.printf
+              "  %-8s %6d reqs: p50 %.2f ms, p99 %.2f ms, p999 %.2f ms, %.0f req/s, \
+               avail %.5f, budget %.2f, %.1f cmp/lookup\n"
+              r.Nv_sim.Fleet.model r.Nv_sim.Fleet.arrivals r.Nv_sim.Fleet.latency_p50_ms
+              r.Nv_sim.Fleet.latency_p99_ms r.Nv_sim.Fleet.latency_p999_ms
+              r.Nv_sim.Fleet.goodput_rps r.Nv_sim.Fleet.availability
+              r.Nv_sim.Fleet.error_budget_used
+              result.Nv_workload.Openload.comparisons_per_lookup;
+            json_of_fleet result)
+          fleet_arrivals
+      in
+      update_json_obj path
+        [
+          ( "fleet",
+            Json.Obj
+              [
+                ("population", Json.Num (float_of_int (List.length entries)));
+                ("replicas", Json.Num (float_of_int fleet_replicas));
+                ( "variant_file_bytes",
+                  Json.List
+                    (Array.to_list (Array.map (fun n -> Json.Num (float_of_int n)) sizes))
+                );
+                ("rows", Json.List rows);
+              ] );
+        ];
+      Printf.printf "wrote %s (fleet rows)\n" path)
+
 let bench_config config =
   match Deploy.build config with
   | Error e -> Error e
@@ -476,7 +586,9 @@ let report_bench ?(path = "BENCH_results.json") () =
       ("requests_per_config", Json.Num (float_of_int bench_requests));
       ("configurations", Json.List configs);
     ];
-  Printf.printf "wrote %s (%d configurations)\n" path (List.length configs)
+  Printf.printf "wrote %s (%d configurations)\n" path (List.length configs);
+  (* The acceptance row for fleet-scale serving rides along with bench. *)
+  report_fleet ~path ()
 
 (* ------------------------------------------------------------------ *)
 (* hostperf: host wall-clock guest-MIPS                                *)
@@ -815,6 +927,7 @@ let reports =
     ("matrix", report_matrix);
     ("ablation", report_ablation);
     ("bench", fun () -> report_bench ());
+    ("fleet", fun () -> report_fleet ());
     ("hostperf", fun () -> report_hostperf ());
   ]
 
@@ -825,6 +938,7 @@ let () =
     run_micro ()
   | [ _; "micro" ] -> run_micro ()
   | [ _; "bench"; path ] -> report_bench ~path ()
+  | [ _; "fleet"; path ] -> report_fleet ~path ()
   | [ _; "hostperf"; path ] -> report_hostperf ~path ()
   | [ _; name ] -> (
     match List.assoc_opt name reports with
@@ -834,5 +948,6 @@ let () =
         (String.concat ", " (List.map fst reports));
       exit 2)
   | _ ->
-    prerr_endline "usage: main.exe [report|micro|all] | bench [path] | hostperf [path]";
+    prerr_endline
+      "usage: main.exe [report|micro|all] | bench [path] | fleet [path] | hostperf [path]";
     exit 2

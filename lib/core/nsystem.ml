@@ -20,10 +20,16 @@ let install_diversified vfs ~variation ~path ~reexpress_file content =
       | Error message -> invalid_arg ("Nsystem.standard_vfs: " ^ message))
     variation.Variation.variants
 
-let standard_vfs ~variation () =
+let standard_vfs ?(users = 0) ~variation () =
   let vfs = Vfs.create () in
   Vfs.mkdir_p vfs "/etc";
-  let passwd_text = Passwd.serialize Passwd.sample in
+  (* The sample entries stay first so the server worker ("www") is
+     found in the guest's first passwd read even when a large synthetic
+     population is appended behind it. *)
+  let entries =
+    if users = 0 then Passwd.sample else Passwd.sample @ Passwd.generate users
+  in
+  let passwd_text = Passwd.serialize entries in
   let group_text = Passwd.serialize_group Passwd.sample_groups in
   let unshared = variation.Variation.unshared_paths in
   if List.mem "/etc/passwd" unshared then

@@ -8,9 +8,11 @@
 
 type t
 
-val standard_vfs : variation:Variation.t -> unit -> Nv_os.Vfs.t
+val standard_vfs : ?users:int -> variation:Variation.t -> unit -> Nv_os.Vfs.t
 (** A small realistic world:
-    - [/etc/passwd], [/etc/group] from {!Nv_os.Passwd.sample};
+    - [/etc/passwd], [/etc/group] from {!Nv_os.Passwd.sample}, with
+      [users] extra synthetic entries ({!Nv_os.Passwd.generate})
+      appended after the samples when given (default 0);
     - for each unshared path of the variation, diversified copies
       [path-i] produced with variant [i]'s reexpression function;
     - [/secret/shadow] readable only by root (mode 0600) — the target

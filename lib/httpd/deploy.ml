@@ -24,14 +24,14 @@ let variation = function
   | Two_variant_address -> Variation.address_partition
   | Two_variant_uid -> Variation.uid_diversity
 
-let world variation =
-  let vfs = Nsystem.standard_vfs ~variation () in
+let world ?users variation =
+  let vfs = Nsystem.standard_vfs ?users ~variation () in
   Site.install vfs;
   vfs
 
-let build ?(log_uid = true) ?mode ?parallel ?recover config =
+let build ?(log_uid = true) ?mode ?parallel ?recover ?users config =
   let variation = variation config in
-  let vfs = world variation in
+  let vfs = world ?users variation in
   let source = Httpd_source.source ~log_uid () in
   match config with
   | Unmodified_single | Two_variant_address ->

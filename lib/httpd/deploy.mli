@@ -30,13 +30,17 @@ val build :
   ?mode:Nv_transform.Uid_transform.mode ->
   ?parallel:bool ->
   ?recover:Nv_core.Supervisor.config ->
+  ?users:int ->
   config ->
   (Nv_core.Nsystem.t, string) result
 (** Compile (and transform, for configurations 2 and 4) the server,
     populate the world (standard files + document root + diversified
     unshared copies), and assemble the system. Each call builds a fresh
     system. [parallel] as in {!Nv_core.Monitor.create}; [recover]
-    attaches a recovery supervisor as in {!Nv_core.Nsystem.create}. *)
+    attaches a recovery supervisor as in {!Nv_core.Nsystem.create};
+    [users] appends that many synthetic passwd entries to the world as
+    in {!Nv_core.Nsystem.standard_vfs} (keep it modest — the guest
+    rescans [/etc/passwd] at startup). *)
 
 val transform_report :
   ?log_uid:bool ->

@@ -212,7 +212,7 @@ let sys_close t ~fd =
    advances. *)
 let desc_readable t = function
   | Dnull | Dcapture _ | Dlistener | Dconn _ -> true
-  | Dfile f -> Result.is_ok (Vfs.contents t.vfs ~path:f.path)
+  | Dfile f -> Result.is_ok (Vfs.size t.vfs ~path:f.path)
 
 let read_desc t desc len =
   match desc with
@@ -221,15 +221,15 @@ let read_desc t desc len =
   | Dlistener -> Ok ""
   | Dconn conn -> Ok (Socket.server_read conn ~max:len)
   | Dfile f -> (
-    match Vfs.contents t.vfs ~path:f.path with
+    (* One path resolution and one chunk-sized copy per call: guests
+       scan fleet-scale passwd variants in small reads, so the read
+       path must not touch the whole backing string each time. *)
+    match Vfs.read_range t.vfs ~path:f.path ~pos:f.pos ~len with
     | Error _ ->
       (* A vanished backing file is an I/O error, not end-of-file. *)
       Error ()
-    | Ok content ->
-      let available = String.length content - f.pos in
-      let n = max 0 (min len available) in
-      let data = String.sub content f.pos n in
-      f.pos <- f.pos + n;
+    | Ok data ->
+      f.pos <- f.pos + String.length data;
       Ok data)
 
 let sys_read t ~fd ~len =
@@ -266,7 +266,7 @@ let sys_read t ~fd ~len =
 let desc_writable t = function
   | Dnull | Dcapture _ | Dconn _ -> true
   | Dlistener -> false
-  | Dfile f -> f.writable && Result.is_ok (Vfs.contents t.vfs ~path:f.path)
+  | Dfile f -> f.writable && Result.is_ok (Vfs.size t.vfs ~path:f.path)
 
 let write_desc t desc bytes =
   match desc with

@@ -71,6 +71,89 @@ let lookup entries name = List.find_opt (fun e -> e.name = name) entries
 
 let lookup_uid entries uid = List.find_opt (fun e -> e.uid = uid) entries
 
+(* ------------------------------------------------------------------ *)
+(* Indexed lookup                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The linear scans above are fine for the five-entry sample database
+   but O(n) per request once the population reaches fleet scale. The
+   index keeps a hashtable by name and a uid-sorted array for binary
+   search, preserving the first-match-in-file-order semantics of the
+   scans (duplicate names/uids resolve to the earliest entry). *)
+
+type index = {
+  by_name : (string, entry) Hashtbl.t;
+  by_uid : entry array;  (* uid-sorted, earliest file entry per uid *)
+  mutable comparisons : int;
+}
+
+let index entries =
+  let by_name = Hashtbl.create (max 16 (List.length entries)) in
+  List.iter
+    (fun e -> if not (Hashtbl.mem by_name e.name) then Hashtbl.add by_name e.name e)
+    entries;
+  let tagged = Array.of_list (List.mapi (fun i e -> (i, e)) entries) in
+  Array.sort
+    (fun (i1, e1) (i2, e2) ->
+      match Int.compare e1.uid e2.uid with 0 -> Int.compare i1 i2 | c -> c)
+    tagged;
+  let keep = ref [] in
+  Array.iter
+    (fun (_, e) ->
+      match !keep with
+      | prev :: _ when prev.uid = e.uid -> ()
+      | _ -> keep := e :: !keep)
+    tagged;
+  { by_name; by_uid = Array.of_list (List.rev !keep); comparisons = 0 }
+
+let find idx name =
+  idx.comparisons <- idx.comparisons + 1;
+  Hashtbl.find_opt idx.by_name name
+
+let find_uid idx uid =
+  let a = idx.by_uid in
+  let lo = ref 0 and hi = ref (Array.length a - 1) and found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    idx.comparisons <- idx.comparisons + 1;
+    let c = Int.compare a.(mid).uid uid in
+    if c = 0 then found := Some a.(mid)
+    else if c < 0 then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let index_size idx = Array.length idx.by_uid
+
+let comparisons idx = idx.comparisons
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic populations                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* UIDs start above the sample database so a generated population can
+   be appended to it without collisions. The list is emitted in a
+   seed-determined shuffle so nothing downstream can accidentally rely
+   on file order being uid order. *)
+let generate_base_uid = 10_000
+
+let generate ?(seed = 2008) n =
+  if n < 0 then invalid_arg "Passwd.generate: negative population";
+  let entries =
+    Array.init n (fun i ->
+        let name = Printf.sprintf "u%07d" i in
+        {
+          name;
+          uid = generate_base_uid + i;
+          gid = generate_base_uid + i;
+          gecos = "synthetic user";
+          home = "/home/" ^ name;
+          shell = "/bin/sh";
+        })
+  in
+  Nv_util.Prng.shuffle (Nv_util.Prng.create ~seed) entries;
+  Array.to_list entries
+
 let reexpress ~f text =
   match parse text with
   | Error _ as e -> e

@@ -29,9 +29,39 @@ val parse_group : string -> (group_entry list, string) result
 val serialize_group : group_entry list -> string
 
 val lookup : entry list -> string -> entry option
-(** Find an entry by user name. *)
+(** Find an entry by user name (linear scan; the reference semantics
+    for {!find}). *)
 
 val lookup_uid : entry list -> Cred.uid -> entry option
+
+(** {1 Indexed lookup}
+
+    O(1)/O(log n) lookups over large populations: a hashtable by name
+    and a uid-sorted array searched by bisection. Agrees with
+    {!lookup}/{!lookup_uid} on any entry list, including ones with
+    duplicate names or uids (first entry in file order wins). *)
+
+type index
+
+val index : entry list -> index
+
+val find : index -> string -> entry option
+
+val find_uid : index -> Cred.uid -> entry option
+
+val index_size : index -> int
+(** Distinct uids in the index. *)
+
+val comparisons : index -> int
+(** Cumulative key comparisons spent by {!find}/{!find_uid} since the
+    index was built — lets tests pin that per-lookup work stays
+    O(log n) rather than O(n). *)
+
+val generate : ?seed:int -> int -> entry list
+(** [generate n] is a synthetic population of [n] users with distinct
+    names and uids (starting at 10000, above {!sample}), emitted in a
+    seed-determined shuffle. Raises [Invalid_argument] on a negative
+    [n]. *)
 
 val reexpress : f:(Cred.uid -> Cred.uid) -> string -> (string, string) result
 (** Apply a UID reexpression function to every UID and GID field of a

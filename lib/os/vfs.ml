@@ -217,6 +217,22 @@ let append_contents t ~path data =
     f.content <- f.content ^ data;
     Ok ()
 
+let size t ~path =
+  match find t path with
+  | Error _ as e -> e
+  | Ok (Dir _) -> Error Eisdir
+  | Ok (File { content; _ }) -> Ok (String.length content)
+
+let read_range t ~path ~pos ~len =
+  match find t path with
+  | Error _ as e -> e
+  | Ok (Dir _) -> Error Eisdir
+  | Ok (File { content; _ }) ->
+    let length = String.length content in
+    let pos = Int.max 0 (Int.min pos length) in
+    let n = Int.max 0 (Int.min len (length - pos)) in
+    Ok (String.sub content pos n)
+
 let exists t path = match find t path with Ok _ -> true | Error _ -> false
 
 let is_dir t path = match find t path with Ok (Dir _) -> true | Ok (File _) | Error _ -> false

@@ -56,6 +56,16 @@ val contents : t -> path:string -> (string, error) result
 val set_contents : t -> path:string -> string -> (unit, error) result
 val append_contents : t -> path:string -> string -> (unit, error) result
 
+val size : t -> path:string -> (int, error) result
+(** File length in bytes without materializing the content; [Eisdir]
+    on a directory. *)
+
+val read_range : t -> path:string -> pos:int -> len:int -> (string, error) result
+(** Bytes [\[pos, pos+len)] of a file, clamped to the file bounds (so
+    reads at or past EOF yield [""]). One path resolution per call —
+    the kernel's chunked read path uses this so scanning a fleet-scale
+    passwd file costs one lookup and one small copy per chunk. *)
+
 val exists : t -> string -> bool
 val is_dir : t -> string -> bool
 val stat : t -> string -> (attrs, error) result

@@ -1,0 +1,82 @@
+module Prng = Nv_util.Prng
+
+type model =
+  | Poisson of { rate : float }
+  | Bursty of { rate : float; burst_mean : float; intra_gap_s : float }
+  | Diurnal of { rate : float; amplitude : float; period_s : float }
+
+type t = {
+  model : model;
+  rng : Prng.t;
+  mutable burst_remaining : int;  (* requests left in the current burst *)
+}
+
+let validate = function
+  | Poisson { rate } ->
+    if rate <= 0.0 then invalid_arg "Arrivals: rate must be positive"
+  | Bursty { rate; burst_mean; intra_gap_s } ->
+    if rate <= 0.0 then invalid_arg "Arrivals: rate must be positive";
+    if burst_mean < 1.0 then invalid_arg "Arrivals: burst_mean must be >= 1";
+    if intra_gap_s < 0.0 then invalid_arg "Arrivals: intra_gap_s must be >= 0"
+  | Diurnal { rate; amplitude; period_s } ->
+    if rate <= 0.0 then invalid_arg "Arrivals: rate must be positive";
+    if amplitude < 0.0 || amplitude > 1.0 then
+      invalid_arg "Arrivals: amplitude must be in [0,1]";
+    if period_s <= 0.0 then invalid_arg "Arrivals: period_s must be positive"
+
+let create ~seed model =
+  validate model;
+  { model; rng = Prng.create ~seed; burst_remaining = 0 }
+
+let model t = t.model
+
+let model_name = function
+  | Poisson _ -> "poisson"
+  | Bursty _ -> "bursty"
+  | Diurnal _ -> "diurnal"
+
+(* Geometric on {1, 2, ...} with the given mean: success probability
+   1/mean per trial. *)
+let geometric rng ~mean =
+  let p = 1.0 /. mean in
+  let rec draw n = if Prng.float rng 1.0 < p then n else draw (n + 1) in
+  draw 1
+
+let tau = 8.0 *. atan 1.0
+
+let intensity ~rate ~amplitude ~period_s time =
+  rate *. (1.0 +. (amplitude *. sin (tau *. time /. period_s)))
+
+let next t ~now =
+  match t.model with
+  | Poisson { rate } -> now +. Prng.exponential t.rng ~mean:(1.0 /. rate)
+  | Bursty { rate; burst_mean; intra_gap_s } ->
+    if t.burst_remaining > 0 then begin
+      t.burst_remaining <- t.burst_remaining - 1;
+      now +. Prng.exponential t.rng ~mean:intra_gap_s
+    end
+    else begin
+      let size = geometric t.rng ~mean:burst_mean in
+      t.burst_remaining <- size - 1;
+      (* One burst of mean size m per cycle: pick the inter-burst gap so
+         the long-run rate comes out at [rate] after subtracting the
+         time the burst itself occupies. Clamped so a pathological
+         parameter choice degrades to fast bursts, not a negative mean. *)
+      let cycle = burst_mean /. rate in
+      let occupied = (burst_mean -. 1.0) *. intra_gap_s in
+      let mean_gap = Float.max (0.05 *. cycle) (cycle -. occupied) in
+      now +. Prng.exponential t.rng ~mean:mean_gap
+    end
+  | Diurnal { rate; amplitude; period_s } ->
+    (* Lewis-Shedler thinning at the peak intensity: candidate points
+       arrive at lambda_max and survive with probability
+       lambda(t)/lambda_max. *)
+    let lambda_max = rate *. (1.0 +. amplitude) in
+    let rec thin time =
+      let time = time +. Prng.exponential t.rng ~mean:(1.0 /. lambda_max) in
+      let keep =
+        Prng.float t.rng lambda_max < intensity ~rate ~amplitude ~period_s time
+      in
+      if keep then time else thin time
+    in
+    thin now

@@ -1,0 +1,399 @@
+module Metrics = Nv_util.Metrics
+
+type request = { service_s : float; response_bytes : int; attack : bool }
+
+type config = {
+  replicas : int;
+  cores : int;
+  pool_size : int;
+  queue_limit : int;
+  conn_setup_s : float;
+  rtt_s : float;
+  bandwidth_bytes_per_s : float;
+  arrival : Arrivals.model;
+  duration_s : float;
+  recovery_pause_s : float;
+  max_recoveries : int;
+  recovery_window_s : float;
+  restart_s : float;
+  probe_interval_s : float;
+  probe_successes : int;
+  slo_target : float;
+  seed : int;
+}
+
+let default =
+  {
+    replicas = 4;
+    cores = 2;
+    pool_size = 32;
+    queue_limit = 64;
+    conn_setup_s = 0.001;
+    rtt_s = 0.004;
+    bandwidth_bytes_per_s = 11.0 *. 1024.0 *. 1024.0;
+    arrival = Arrivals.Poisson { rate = 400.0 };
+    duration_s = 20.0;
+    recovery_pause_s = 0.05;
+    max_recoveries = 8;
+    recovery_window_s = 10.0;
+    restart_s = 1.0;
+    probe_interval_s = 0.1;
+    probe_successes = 3;
+    slo_target = 0.999;
+    seed = 2008;
+  }
+
+type report = {
+  model : string;
+  duration_s : float;
+  arrivals : int;
+  completed : int;
+  rejected : int;
+  dropped : int;
+  in_flight : int;
+  alarms : int;
+  recoveries : int;
+  failstops : int;
+  probes : int;
+  pool_hits : int;
+  pool_misses : int;
+  goodput_rps : float;
+  goodput_bytes_per_s : float;
+  latency_mean_ms : float;
+  latency_p50_ms : float;
+  latency_p99_ms : float;
+  latency_p999_ms : float;
+  availability : float;
+  error_budget_used : float;
+  replica_completed : int array;
+  replica_dropped : int array;
+  replica_utilization : float array;
+  transitions : (float * int * string) list;
+}
+
+type health = Up | Recovering | Down | Probation of int
+
+(* A request in flight through the balancer. *)
+type pending = { req : request; t_arrival : float }
+
+type replica = {
+  id : int;
+  mutable health : health;
+  (* Bumped on every alarm: events scheduled for a previous epoch find
+     their connection already torn down and count as drops. *)
+  mutable epoch : int;
+  mutable busy : int;  (* cores in service *)
+  mutable conns : int;  (* open connections, idle + held *)
+  mutable idle_conns : int;
+  conn_queue : pending Queue.t;  (* waiting for a connection *)
+  cpu_queue : pending Queue.t;  (* holding a connection, waiting for a core *)
+  mutable completed : int;
+  mutable dropped : int;
+  mutable busy_s : float;  (* delivered (non-rolled-back) core seconds *)
+  mutable recent_recoveries : float list;
+}
+
+type state = {
+  cfg : config;
+  engine : Engine.t;
+  fleet : replica array;
+  latency : Metrics.histogram;
+  mutable arrivals : int;
+  mutable completed : int;
+  mutable rejected : int;
+  mutable dropped : int;
+  mutable alarms : int;
+  mutable recoveries : int;
+  mutable failstops : int;
+  mutable probes : int;
+  mutable pool_hits : int;
+  mutable pool_misses : int;
+  mutable goodput_bytes : int;
+  mutable latency_sum : float;
+  mutable transitions : (float * int * string) list;
+}
+
+let validate cfg =
+  if cfg.replicas < 1 then invalid_arg "Fleet: replicas must be >= 1";
+  if cfg.cores < 1 then invalid_arg "Fleet: cores must be >= 1";
+  if cfg.pool_size < 1 then invalid_arg "Fleet: pool_size must be >= 1";
+  if cfg.queue_limit < 0 then invalid_arg "Fleet: queue_limit must be >= 0";
+  if cfg.conn_setup_s < 0.0 || cfg.rtt_s < 0.0 then
+    invalid_arg "Fleet: negative network cost";
+  if cfg.bandwidth_bytes_per_s <= 0.0 then invalid_arg "Fleet: bandwidth must be positive";
+  if cfg.duration_s <= 0.0 then invalid_arg "Fleet: duration must be positive";
+  if cfg.recovery_pause_s < 0.0 || cfg.restart_s < 0.0 then
+    invalid_arg "Fleet: negative recovery time";
+  if cfg.max_recoveries < 0 then invalid_arg "Fleet: max_recoveries must be >= 0";
+  if cfg.recovery_window_s <= 0.0 then invalid_arg "Fleet: recovery window must be positive";
+  if cfg.probe_interval_s <= 0.0 then invalid_arg "Fleet: probe interval must be positive";
+  if cfg.probe_successes < 1 then invalid_arg "Fleet: probe_successes must be >= 1";
+  if cfg.slo_target <= 0.0 || cfg.slo_target >= 1.0 then
+    invalid_arg "Fleet: slo_target must be in (0,1)"
+
+let transition t r label =
+  t.transitions <- (Engine.now t.engine, r.id, label) :: t.transitions
+
+let drop (t : state) (r : replica) (_ : pending) =
+  t.dropped <- t.dropped + 1;
+  r.dropped <- r.dropped + 1
+
+(* Least-loaded healthy replica, lowest id on ties. Load counts held
+   connections plus requests still waiting for one. *)
+let pick_replica t =
+  let best = ref None in
+  Array.iter
+    (fun r ->
+      if r.health = Up then begin
+        let load = r.conns - r.idle_conns + Queue.length r.conn_queue in
+        match !best with
+        | Some (_, best_load) when best_load <= load -> ()
+        | _ -> best := Some (r, load)
+      end)
+    t.fleet;
+  Option.map fst !best
+
+let rec probe_loop t r =
+  Engine.schedule_after t.engine ~delay:t.cfg.probe_interval_s (fun () ->
+      match r.health with
+      | Probation k ->
+        t.probes <- t.probes + 1;
+        if k + 1 >= t.cfg.probe_successes then begin
+          r.health <- Up;
+          r.recent_recoveries <- [];
+          transition t r "up"
+        end
+        else begin
+          r.health <- Probation (k + 1);
+          probe_loop t r
+        end
+      | Up | Recovering | Down -> ())
+
+let raise_alarm t r =
+  let now = Engine.now t.engine in
+  t.alarms <- t.alarms + 1;
+  (* Rollback tears down every live connection: queued requests die here,
+     in-service and mid-transfer ones when their stale events fire. *)
+  Queue.iter (fun p -> drop t r p) r.conn_queue;
+  Queue.iter (fun p -> drop t r p) r.cpu_queue;
+  Queue.clear r.conn_queue;
+  Queue.clear r.cpu_queue;
+  r.busy <- 0;
+  r.conns <- 0;
+  r.idle_conns <- 0;
+  r.epoch <- r.epoch + 1;
+  r.recent_recoveries <-
+    List.filter (fun ts -> ts > now -. t.cfg.recovery_window_s) r.recent_recoveries;
+  if List.length r.recent_recoveries < t.cfg.max_recoveries then begin
+    (* Within budget: checkpoint rollback, brief pause, back in rotation. *)
+    r.recent_recoveries <- now :: r.recent_recoveries;
+    t.recoveries <- t.recoveries + 1;
+    r.health <- Recovering;
+    transition t r "recovering";
+    Engine.schedule_after t.engine ~delay:t.cfg.recovery_pause_s (fun () ->
+        if r.health = Recovering then begin
+          r.health <- Up;
+          transition t r "up"
+        end)
+  end
+  else begin
+    (* Budget exhausted: fail-stop. The balancer drains the replica and
+       only re-adds it after restart plus a clean probation streak. *)
+    t.failstops <- t.failstops + 1;
+    r.health <- Down;
+    transition t r "down";
+    Engine.schedule_after t.engine ~delay:t.cfg.restart_s (fun () ->
+        r.health <- Probation 0;
+        transition t r "probation";
+        probe_loop t r)
+  end
+
+let rec release_conn t r =
+  if Queue.is_empty r.conn_queue then r.idle_conns <- r.idle_conns + 1
+  else begin
+    (* Hand the freed connection straight to the next waiter. *)
+    let p = Queue.pop r.conn_queue in
+    t.pool_hits <- t.pool_hits + 1;
+    transfer t r r.epoch p ~delay:(t.cfg.rtt_s /. 2.0)
+  end
+
+and transfer t r epoch p ~delay =
+  Engine.schedule_after t.engine ~delay (fun () -> enqueue_cpu t r epoch p)
+
+and enqueue_cpu t r epoch p =
+  if epoch <> r.epoch then drop t r p
+  else if r.busy < t.cfg.cores then start_service t r p
+  else Queue.push p r.cpu_queue
+
+and start_service t r p =
+  r.busy <- r.busy + 1;
+  let epoch = r.epoch in
+  Engine.schedule_after t.engine ~delay:p.req.service_s (fun () ->
+      service_done t r epoch p)
+
+and service_done t r epoch p =
+  if epoch <> r.epoch then drop t r p
+  else if p.req.attack then begin
+    (* The monitor catches the divergence at this rendezvous; the
+       attacker's connection goes down with everyone else's. *)
+    drop t r p;
+    raise_alarm t r
+  end
+  else begin
+    r.busy <- r.busy - 1;
+    r.busy_s <- r.busy_s +. p.req.service_s;
+    if r.busy < t.cfg.cores && not (Queue.is_empty r.cpu_queue) then
+      start_service t r (Queue.pop r.cpu_queue);
+    let wire =
+      float_of_int p.req.response_bytes /. t.cfg.bandwidth_bytes_per_s
+      +. (t.cfg.rtt_s /. 2.0)
+    in
+    Engine.schedule_after t.engine ~delay:wire (fun () -> deliver t r epoch p)
+  end
+
+and deliver t r epoch p =
+  if epoch <> r.epoch then drop t r p
+  else begin
+    t.completed <- t.completed + 1;
+    r.completed <- r.completed + 1;
+    t.goodput_bytes <- t.goodput_bytes + p.req.response_bytes;
+    let latency = Engine.now t.engine -. p.t_arrival in
+    t.latency_sum <- t.latency_sum +. latency;
+    Metrics.observe t.latency latency;
+    release_conn t r
+  end
+
+let handle_arrival t req =
+  t.arrivals <- t.arrivals + 1;
+  let p = { req; t_arrival = Engine.now t.engine } in
+  match pick_replica t with
+  | None -> t.rejected <- t.rejected + 1
+  | Some r ->
+    if r.idle_conns > 0 then begin
+      r.idle_conns <- r.idle_conns - 1;
+      t.pool_hits <- t.pool_hits + 1;
+      transfer t r r.epoch p ~delay:(t.cfg.rtt_s /. 2.0)
+    end
+    else if r.conns < t.cfg.pool_size then begin
+      r.conns <- r.conns + 1;
+      t.pool_misses <- t.pool_misses + 1;
+      transfer t r r.epoch p ~delay:(t.cfg.conn_setup_s +. (t.cfg.rtt_s /. 2.0))
+    end
+    else if Queue.length r.conn_queue >= t.cfg.queue_limit then
+      t.rejected <- t.rejected + 1
+    else Queue.push p r.conn_queue
+
+let make_replica id =
+  {
+    id;
+    health = Up;
+    epoch = 0;
+    busy = 0;
+    conns = 0;
+    idle_conns = 0;
+    conn_queue = Queue.create ();
+    cpu_queue = Queue.create ();
+    completed = 0;
+    dropped = 0;
+    busy_s = 0.0;
+    recent_recoveries = [];
+  }
+
+let publish (t : state) (report : report) =
+  let s = Metrics.scope (Engine.metrics t.engine) "fleet" in
+  let c name v = Metrics.add (Metrics.counter s name) v in
+  let g name v = Metrics.set_gauge (Metrics.gauge s name) v in
+  c "arrivals" report.arrivals;
+  c "completed" report.completed;
+  c "rejected" report.rejected;
+  c "dropped" report.dropped;
+  c "alarms" report.alarms;
+  c "recoveries" report.recoveries;
+  c "failstops" report.failstops;
+  c "probes" report.probes;
+  c "pool.hits" report.pool_hits;
+  c "pool.misses" report.pool_misses;
+  g "slo.latency_p50_ms" report.latency_p50_ms;
+  g "slo.latency_p99_ms" report.latency_p99_ms;
+  g "slo.latency_p999_ms" report.latency_p999_ms;
+  g "slo.goodput_rps" report.goodput_rps;
+  g "slo.availability" report.availability;
+  g "slo.error_budget_used" report.error_budget_used
+
+let run ?metrics cfg ~next_request =
+  validate cfg;
+  let engine = Engine.create ?metrics () in
+  let t =
+    {
+      cfg;
+      engine;
+      fleet = Array.init cfg.replicas make_replica;
+      latency = Metrics.histogram (Metrics.scope (Engine.metrics engine) "fleet") "latency_s";
+      arrivals = 0;
+      completed = 0;
+      rejected = 0;
+      dropped = 0;
+      alarms = 0;
+      recoveries = 0;
+      failstops = 0;
+      probes = 0;
+      pool_hits = 0;
+      pool_misses = 0;
+      goodput_bytes = 0;
+      latency_sum = 0.0;
+      transitions = [];
+    }
+  in
+  let arr = Arrivals.create ~seed:cfg.seed cfg.arrival in
+  let rec schedule_arrival time =
+    if time < cfg.duration_s then
+      Engine.schedule_at engine ~time (fun () ->
+          handle_arrival t (next_request ());
+          schedule_arrival (Arrivals.next arr ~now:time))
+  in
+  schedule_arrival (Arrivals.next arr ~now:0.0);
+  Engine.run ~until:cfg.duration_s engine;
+  let errors = t.rejected + t.dropped in
+  let finished = t.completed + errors in
+  let pct p = Metrics.histogram_percentile t.latency p *. 1000.0 in
+  let report =
+    {
+      model = Arrivals.model_name cfg.arrival;
+      duration_s = cfg.duration_s;
+      arrivals = t.arrivals;
+      completed = t.completed;
+      rejected = t.rejected;
+      dropped = t.dropped;
+      in_flight = t.arrivals - finished;
+      alarms = t.alarms;
+      recoveries = t.recoveries;
+      failstops = t.failstops;
+      probes = t.probes;
+      pool_hits = t.pool_hits;
+      pool_misses = t.pool_misses;
+      goodput_rps = float_of_int t.completed /. cfg.duration_s;
+      goodput_bytes_per_s = float_of_int t.goodput_bytes /. cfg.duration_s;
+      latency_mean_ms =
+        (if t.completed = 0 then 0.0
+         else t.latency_sum /. float_of_int t.completed *. 1000.0);
+      latency_p50_ms = pct 50.0;
+      latency_p99_ms = pct 99.0;
+      latency_p999_ms = pct 99.9;
+      availability =
+        (if finished = 0 then 1.0 else float_of_int t.completed /. float_of_int finished);
+      error_budget_used =
+        (if finished = 0 then 0.0
+         else
+           float_of_int errors
+           /. ((1.0 -. cfg.slo_target) *. float_of_int finished));
+      replica_completed = Array.map (fun (r : replica) -> r.completed) t.fleet;
+      replica_dropped = Array.map (fun (r : replica) -> r.dropped) t.fleet;
+      replica_utilization =
+        Array.map
+          (fun r -> r.busy_s /. (float_of_int cfg.cores *. cfg.duration_s))
+          t.fleet;
+      transitions = List.rev t.transitions;
+    }
+  in
+  publish t report;
+  report

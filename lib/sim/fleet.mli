@@ -1,0 +1,88 @@
+(** Simulated load balancer over a fleet of N-variant replicas.
+
+    Open-loop traffic from an {!Arrivals} generator is spread across
+    [replicas] simulated N-variant servers. Each replica has a bounded
+    keep-alive connection pool, a fixed number of service cores, and a
+    health state machine fed by the Supervisor-style alarm semantics of
+    the monitored replicas it models:
+
+    - a divergence alarm rolls the replica back: every live connection
+      (in service, queued, or mid-transfer) is dropped;
+    - within the recovery budget ([max_recoveries] alarms per sliding
+      [recovery_window_s]) the replica pauses for [recovery_pause_s] and
+      rejoins;
+    - past the budget it fail-stops: the balancer drains it, and after
+      [restart_s] it re-enters through a probation phase of
+      [probe_successes] health probes before taking traffic again.
+
+    The run is fully deterministic for a fixed [seed] and request
+    stream; the SLO report (p50/p99/p999 latency, goodput, error budget)
+    is published into the engine's metrics registry under ["fleet"]. *)
+
+type request = {
+  service_s : float;  (** core seconds the replica spends on it *)
+  response_bytes : int;
+  attack : bool;  (** triggers a divergence alarm at the rendezvous *)
+}
+
+type config = {
+  replicas : int;
+  cores : int;  (** service cores per replica *)
+  pool_size : int;  (** keep-alive connections per replica *)
+  queue_limit : int;  (** waiting requests per replica before shedding *)
+  conn_setup_s : float;  (** handshake cost when no idle connection *)
+  rtt_s : float;
+  bandwidth_bytes_per_s : float;
+  arrival : Arrivals.model;
+  duration_s : float;
+  recovery_pause_s : float;
+  max_recoveries : int;
+  recovery_window_s : float;
+  restart_s : float;
+  probe_interval_s : float;
+  probe_successes : int;
+  slo_target : float;  (** availability objective, e.g. 0.999 *)
+  seed : int;
+}
+
+val default : config
+(** 4 replicas x 2 cores, Poisson at 400 req/s for 20 s, 99.9%% SLO. *)
+
+type report = {
+  model : string;  (** arrival model name *)
+  duration_s : float;
+  arrivals : int;
+  completed : int;
+  rejected : int;  (** shed: queue full or no healthy replica *)
+  dropped : int;  (** connections torn down by alarms and fail-stops *)
+  in_flight : int;  (** still open when the horizon hit *)
+  alarms : int;
+  recoveries : int;
+  failstops : int;
+  probes : int;
+  pool_hits : int;
+  pool_misses : int;
+  goodput_rps : float;
+  goodput_bytes_per_s : float;
+  latency_mean_ms : float;
+  latency_p50_ms : float;
+  latency_p99_ms : float;
+  latency_p999_ms : float;
+  availability : float;  (** completed / (completed + errors) *)
+  error_budget_used : float;
+      (** errors as a fraction of the (1 - slo_target) allowance; > 1
+          means the budget is blown *)
+  replica_completed : int array;
+  replica_dropped : int array;
+  replica_utilization : float array;  (** delivered core-seconds share *)
+  transitions : (float * int * string) list;
+      (** health transitions: time, replica id, new state — one of
+          ["recovering"], ["up"], ["down"], ["probation"] *)
+}
+
+val run : ?metrics:Nv_util.Metrics.t -> config -> next_request:(unit -> request) -> report
+(** Simulate [config.duration_s] seconds of open-loop load. The request
+    stream comes from [next_request], called once per arrival in arrival
+    order (so a seeded closure keeps the whole run deterministic).
+    Raises [Invalid_argument] on a non-positive fleet dimension, a
+    negative cost parameter, or an [slo_target] outside (0,1). *)

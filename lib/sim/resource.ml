@@ -1,13 +1,14 @@
 module Metrics = Nv_util.Metrics
 
-type job = { duration : float; complete : unit -> unit }
+type job = { duration : float; complete : unit -> unit; mutable started_at : float }
 
 type t = {
   engine : Engine.t;
   name : string;
   capacity : int;
   mutable busy : int;
-  mutable busy_time : float;
+  mutable completed_busy : float;  (* slot-seconds of finished service *)
+  mutable inflight_started_sum : float;  (* sum of start times of in-service jobs *)
   waiting : job Queue.t;
   jobs_completed : Metrics.counter;
   busy_time_g : Metrics.gauge;
@@ -22,7 +23,8 @@ let create engine ~name ~capacity =
     name;
     capacity;
     busy = 0;
-    busy_time = 0.0;
+    completed_busy = 0.0;
+    inflight_started_sum = 0.0;
     waiting = Queue.create ();
     jobs_completed = Metrics.counter scope "jobs_completed";
     busy_time_g = Metrics.gauge scope "busy_time_s";
@@ -31,14 +33,26 @@ let create engine ~name ~capacity =
 
 let name t = t.name
 
+(* Busy time is charged as it is delivered, not promised: finished jobs
+   contribute their full duration, in-flight jobs only the share elapsed
+   so far. Charging the full duration at start (the old behaviour) let
+   [utilization] exceed 1.0 whenever jobs were still in flight at the
+   reading instant, e.g. at the simulation horizon. *)
+let busy_time t =
+  t.completed_busy
+  +. ((float_of_int t.busy *. Engine.now t.engine) -. t.inflight_started_sum)
+
 let rec start t job =
   t.busy <- t.busy + 1;
-  t.busy_time <- t.busy_time +. job.duration;
-  Metrics.set_gauge t.busy_time_g t.busy_time;
+  job.started_at <- Engine.now t.engine;
+  t.inflight_started_sum <- t.inflight_started_sum +. job.started_at;
   Engine.schedule_after t.engine ~delay:job.duration (fun () -> finish t job)
 
 and finish t job =
   t.busy <- t.busy - 1;
+  t.inflight_started_sum <- t.inflight_started_sum -. job.started_at;
+  t.completed_busy <- t.completed_busy +. job.duration;
+  Metrics.set_gauge t.busy_time_g (busy_time t);
   Metrics.incr t.jobs_completed;
   job.complete ();
   (* The completion callback may itself have submitted work; only pull
@@ -48,7 +62,7 @@ and finish t job =
 
 let serve t ~duration complete =
   if duration < 0.0 then invalid_arg "Resource.serve: negative duration";
-  let job = { duration; complete } in
+  let job = { duration; complete; started_at = 0.0 } in
   if t.busy < t.capacity then start t job
   else begin
     Queue.push job t.waiting;
@@ -59,9 +73,7 @@ let busy t = t.busy
 
 let queue_length t = Queue.length t.waiting
 
-let busy_time t = t.busy_time
-
 let utilization t =
   let elapsed = Engine.now t.engine in
   if elapsed <= 0.0 then 0.0
-  else t.busy_time /. (float_of_int t.capacity *. elapsed)
+  else busy_time t /. (float_of_int t.capacity *. elapsed)

@@ -27,7 +27,10 @@ val queue_length : t -> int
 (** Jobs waiting for a slot. *)
 
 val busy_time : t -> float
-(** Accumulated slot-seconds of service delivered so far. *)
+(** Slot-seconds of service delivered so far: completed jobs in full
+    plus, for each job still in service, only the share elapsed up to
+    the engine clock. *)
 
 val utilization : t -> float
-(** [busy_time / (capacity * now)]; 0 when the clock is at 0. *)
+(** [busy_time / (capacity * now)]; 0 when the clock is at 0. Never
+    exceeds 1.0, even with jobs in flight at the reading instant. *)

@@ -1,7 +1,9 @@
 (* Registry-backed counters/gauges/histograms. Everything here is
-   deterministic: histograms keep a fixed-size reservoir with
-   round-robin replacement (no RNG), and timers take their clock as a
-   function so simulated time can drive them. *)
+   deterministic: histograms keep a fixed-size reservoir maintained by
+   Vitter's Algorithm R with a PRNG seeded from the metric's full name,
+   so a given observation sequence always yields the same reservoir, and
+   timers take their clock as a function so simulated time can drive
+   them. *)
 
 let reservoir_capacity = 4096
 
@@ -14,8 +16,9 @@ type histogram = {
   mutable sum : float;
   mutable min_v : float;
   mutable max_v : float;
-  samples : float array;  (* reservoir, round-robin once full *)
+  samples : float array;  (* uniform reservoir (Algorithm R) once full *)
   mutable filled : int;
+  rng : Prng.t;  (* seeded from the metric name: deterministic *)
 }
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
@@ -51,7 +54,7 @@ let get_or_create s name ~make ~unwrap =
         (Printf.sprintf "Metrics: %S is already registered as a %s" full
            (kind_name existing)))
   | None ->
-    let wrapped = make () in
+    let wrapped = make full in
     Hashtbl.replace s.reg.table full wrapped;
     (match unwrap wrapped with Some m -> m | None -> assert false)
 
@@ -61,7 +64,7 @@ let get_or_create s name ~make ~unwrap =
 
 let counter s name =
   get_or_create s name
-    ~make:(fun () -> Counter { c = 0 })
+    ~make:(fun _ -> Counter { c = 0 })
     ~unwrap:(function Counter c -> Some c | _ -> None)
 
 let incr c = c.c <- c.c + 1
@@ -76,7 +79,7 @@ let counter_value c = c.c
 
 let gauge s name =
   get_or_create s name
-    ~make:(fun () -> Gauge { g = 0.0 })
+    ~make:(fun _ -> Gauge { g = 0.0 })
     ~unwrap:(function Gauge g -> Some g | _ -> None)
 
 let set_gauge g v = g.g <- v
@@ -91,7 +94,7 @@ let gauge_value g = g.g
 
 let histogram s name =
   get_or_create s name
-    ~make:(fun () ->
+    ~make:(fun full ->
       Histogram
         {
           count = 0;
@@ -100,12 +103,23 @@ let histogram s name =
           max_v = neg_infinity;
           samples = Array.make reservoir_capacity 0.0;
           filled = 0;
+          rng = Prng.create ~seed:(0x5EED lxor Hashtbl.hash full);
         })
     ~unwrap:(function Histogram h -> Some h | _ -> None)
 
+(* Vitter's Algorithm R: the i-th observation (1-based) replaces a
+   uniformly chosen reservoir slot with probability capacity/i, so at
+   any point the reservoir is a uniform sample of everything observed —
+   not just the most recent window. *)
 let observe h v =
-  h.samples.(h.count mod reservoir_capacity) <- v;
-  if h.filled < reservoir_capacity then h.filled <- h.filled + 1;
+  if h.filled < reservoir_capacity then begin
+    h.samples.(h.filled) <- v;
+    h.filled <- h.filled + 1
+  end
+  else begin
+    let j = Prng.int h.rng (h.count + 1) in
+    if j < reservoir_capacity then h.samples.(j) <- v
+  end;
   h.count <- h.count + 1;
   h.sum <- h.sum +. v;
   if v < h.min_v then h.min_v <- v;
@@ -118,6 +132,8 @@ let histogram_sum h = h.sum
 let histogram_percentile h p =
   if h.filled = 0 then 0.0
   else Stats.percentile (Array.sub h.samples 0 h.filled) p
+
+let histogram_p999 h = histogram_percentile h 99.9
 
 (* ------------------------------------------------------------------ *)
 (* Timers                                                              *)
@@ -399,6 +415,7 @@ let histogram_summary h =
       ("p50", Json.Num (pct 50.0));
       ("p90", Json.Num (pct 90.0));
       ("p99", Json.Num (pct 99.0));
+      ("p999", Json.Num (pct 99.9));
     ]
 
 let to_json_value reg =
@@ -433,14 +450,16 @@ let to_text reg =
         Buffer.add_string buf (Printf.sprintf "gauge %s %s\n" name (Json.number_to_string g.g))
       | Histogram h ->
         Buffer.add_string buf
-          (Printf.sprintf "histogram %s count=%d sum=%s min=%s max=%s p50=%s p90=%s p99=%s\n"
+          (Printf.sprintf
+             "histogram %s count=%d sum=%s min=%s max=%s p50=%s p90=%s p99=%s p999=%s\n"
              name h.count
              (Json.number_to_string h.sum)
              (Json.number_to_string (if h.count = 0 then 0.0 else h.min_v))
              (Json.number_to_string (if h.count = 0 then 0.0 else h.max_v))
              (Json.number_to_string (histogram_percentile h 50.0))
              (Json.number_to_string (histogram_percentile h 90.0))
-             (Json.number_to_string (histogram_percentile h 99.0))))
+             (Json.number_to_string (histogram_percentile h 99.0))
+             (Json.number_to_string (histogram_percentile h 99.9))))
     (sorted_metrics reg);
   Buffer.contents buf
 

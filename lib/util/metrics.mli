@@ -65,9 +65,15 @@ val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
 val histogram_percentile : histogram -> float -> float
-(** Percentile over the retained samples (a bounded reservoir of the
-    most recent 4096 observations; exact until then). Returns [0.] for
-    an empty histogram. *)
+(** Percentile over the retained samples: a 4096-slot uniform reservoir
+    maintained with Vitter's Algorithm R (exact until the reservoir
+    fills). The replacement PRNG is seeded from the metric's full name,
+    so a fixed observation sequence always yields the same estimate.
+    Returns [0.] for an empty histogram. *)
+
+val histogram_p999 : histogram -> float
+(** [histogram_percentile h 99.9] — the tail-latency figure fleet SLO
+    reports are built on. *)
 
 (** {1 Timers}
 

@@ -19,10 +19,11 @@ val stddev : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [\[0,100\]], linear interpolation on the
-    sorted copy. Raises [Invalid_argument] on an empty array or a [p]
-    outside the range. *)
+    sorted copy ([Float.compare] ordering). Raises [Invalid_argument] on
+    an empty array, a [p] outside the range, or any NaN input. *)
 
 val summarize : float array -> summary
-(** Full summary. Raises [Invalid_argument] on an empty array. *)
+(** Full summary (sorts once). Raises [Invalid_argument] on an empty
+    array or any NaN input. *)
 
 val pp_summary : Format.formatter -> summary -> unit

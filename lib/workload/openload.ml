@@ -1,0 +1,114 @@
+module Fleet = Nv_sim.Fleet
+module Passwd = Nv_os.Passwd
+module Vfs = Nv_os.Vfs
+module Reexpression = Nv_core.Reexpression
+module Prng = Nv_util.Prng
+
+type spec = {
+  replicas : int;
+  arrival : Nv_sim.Arrivals.model;
+  duration_s : float;
+  users : int;
+  attacks_per_10k : int;
+}
+
+type result = {
+  fleet : Fleet.report;
+  population : int;
+  lookups : int;
+  comparisons : int;
+  comparisons_per_lookup : float;
+  mean_service_s : float;
+}
+
+let population ?seed ~users () = Passwd.sample @ Passwd.generate ?seed users
+
+let passwd_world ~entries ~variants =
+  let vfs = Vfs.create () in
+  Vfs.mkdir_p vfs "/etc";
+  Vfs.install vfs ~path:"/etc/passwd" (Passwd.serialize entries);
+  let sizes =
+    Array.init variants (fun i ->
+        let f = (Reexpression.uid_for_variant i).Reexpression.encode in
+        let diversified =
+          List.map (fun e -> { e with Passwd.uid = f e.Passwd.uid; gid = f e.Passwd.gid }) entries
+        in
+        let path = Printf.sprintf "/etc/passwd-%d" i in
+        Vfs.install vfs ~path (Passwd.serialize diversified);
+        match Vfs.size vfs ~path with Ok n -> n | Error _ -> 0)
+  in
+  (vfs, sizes)
+
+let mean_service_s ?(cost = Cost_model.default) ~variants samples =
+  if Array.length samples = 0 then invalid_arg "Openload.mean_service_s: no samples";
+  let total =
+    Array.fold_left
+      (fun acc s ->
+        acc
+        +. Cost_model.cpu_seconds cost ~instructions:s.Measure.instructions
+             ~rendezvous:s.Measure.rendezvous ~variants)
+      0.0 samples
+  in
+  total /. float_of_int (Array.length samples)
+
+(* Charge the indexed uid lookup to the request at a nominal cost per
+   key comparison — microscopic next to the monitor rendezvous cost,
+   which is the point: with the linear scan it would be ~n/2 of these
+   per request. *)
+let comparison_cost_s = 2.0e-8
+
+let run ?(seed = 11) ?(cost = Cost_model.default) ?(fleet = Fleet.default) ?metrics
+    ?entries ~variants ~samples spec =
+  if Array.length samples = 0 then invalid_arg "Openload.run: no samples";
+  let entries =
+    match entries with Some e -> e | None -> population ~seed ~users:spec.users ()
+  in
+  let idx = Passwd.index entries in
+  let uids = Array.of_list (List.map (fun e -> e.Passwd.uid) entries) in
+  let prng = Prng.create ~seed in
+  let cursor = ref (Prng.int prng (Array.length samples)) in
+  let lookups = ref 0 in
+  let service_sum = ref 0.0 in
+  let next_request () =
+    let sample = samples.(!cursor mod Array.length samples) in
+    incr cursor;
+    let uid = Prng.pick prng uids in
+    let before = Passwd.comparisons idx in
+    (match Passwd.find_uid idx uid with
+    | Some _ -> ()
+    | None -> invalid_arg "Openload.run: generated uid missing from index");
+    let spent = Passwd.comparisons idx - before in
+    incr lookups;
+    let service_s =
+      Cost_model.cpu_seconds cost ~instructions:sample.Measure.instructions
+        ~rendezvous:sample.Measure.rendezvous ~variants
+      +. (float_of_int spent *. comparison_cost_s)
+    in
+    service_sum := !service_sum +. service_s;
+    {
+      Fleet.service_s;
+      response_bytes = sample.Measure.response_bytes;
+      attack = Prng.int prng 10_000 < spec.attacks_per_10k;
+    }
+  in
+  let config =
+    {
+      fleet with
+      Fleet.replicas = spec.replicas;
+      arrival = spec.arrival;
+      duration_s = spec.duration_s;
+      seed;
+    }
+  in
+  let report = Fleet.run ?metrics config ~next_request in
+  let comparisons = Passwd.comparisons idx in
+  {
+    fleet = report;
+    population = List.length entries;
+    lookups = !lookups;
+    comparisons;
+    comparisons_per_lookup =
+      (if !lookups = 0 then 0.0 else float_of_int comparisons /. float_of_int !lookups);
+    mean_service_s =
+      (if !lookups = 0 then 0.0 else !service_sum /. float_of_int !lookups);
+  }

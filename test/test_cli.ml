@@ -134,7 +134,36 @@ let test_bench_results_json () =
   Sys.remove json_path;
   Alcotest.(check bool) "per-config throughput" true (contains json "throughput_kb_s");
   Alcotest.(check bool) "monitor check counters" true (contains json "checks_performed");
-  Alcotest.(check bool) "all configs present" true (contains json "config4")
+  Alcotest.(check bool) "all configs present" true (contains json "config4");
+  Alcotest.(check bool) "fleet row present" true (contains json "\"fleet\"");
+  Alcotest.(check bool) "fleet tail latency" true (contains json "latency_p999_ms");
+  Alcotest.(check bool) "fleet error budget" true (contains json "error_budget_used")
+
+let test_fleetsim_smoke () =
+  let status, output =
+    run_capture
+      "../bin/fleetsim.exe --replicas 2 --rate 150 --duration 2 --users 5000 \
+       --attacks-per-10k 5 --seed 7"
+  in
+  Alcotest.(check int) "exit 0" 0 status;
+  Alcotest.(check bool) "fleet header" true (contains output "fleet: 2 replicas");
+  Alcotest.(check bool) "population line" true (contains output "5005 passwd entries");
+  Alcotest.(check bool) "latency line" true (contains output "latency: p50");
+  Alcotest.(check bool) "slo line" true (contains output "availability")
+
+let test_fleetsim_deterministic_across_parallel () =
+  let invoke parallel =
+    run_capture
+      (Printf.sprintf
+         "../bin/fleetsim.exe --replicas 2 --rate 150 --duration 2 --users 5000 \
+          --seed 7 --parallel %s"
+         parallel)
+  in
+  let status_seq, seq = invoke "off" in
+  let status_par, par = invoke "on" in
+  Alcotest.(check int) "seq exit 0" 0 status_seq;
+  Alcotest.(check int) "par exit 0" 0 status_par;
+  Alcotest.(check string) "identical fleet reports" seq par
 
 let () =
   Alcotest.run "nv_cli"
@@ -162,5 +191,11 @@ let () =
           Alcotest.test_case "table1" `Quick test_bench_table1;
           Alcotest.test_case "unknown report" `Quick test_bench_unknown_report;
           Alcotest.test_case "bench results json" `Quick test_bench_results_json;
+        ] );
+      ( "fleetsim",
+        [
+          Alcotest.test_case "smoke" `Quick test_fleetsim_smoke;
+          Alcotest.test_case "seq/par identical" `Quick
+            test_fleetsim_deterministic_across_parallel;
         ] );
     ]

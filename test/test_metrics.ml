@@ -77,6 +77,44 @@ let test_histogram () =
   Alcotest.(check (float 0.0)) "empty percentile" 0.0
     (Metrics.histogram_percentile empty 50.0)
 
+let test_histogram_reservoir_unbiased () =
+  (* Regression: the "reservoir" was a ring buffer, so once full it
+     held only the most recent window — 100k increasing observations
+     left a p50 near 98k. Algorithm R keeps a uniform sample: the p50
+     of 0..99999 must sit near 50000 and p999 near 99900. *)
+  let reg = Metrics.create () in
+  let h = Metrics.histogram (Metrics.scope reg "lat") "ms" in
+  let n = 100_000 in
+  for i = 0 to n - 1 do
+    Metrics.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" n (Metrics.histogram_count h);
+  let p50 = Metrics.histogram_percentile h 50.0 in
+  if p50 < 40_000.0 || p50 > 60_000.0 then
+    Alcotest.failf "reservoir p50 %.0f is biased (expected ~50000)" p50;
+  let p999 = Metrics.histogram_p999 h in
+  if p999 < 90_000.0 || p999 > float_of_int n then
+    Alcotest.failf "reservoir p999 %.0f out of range" p999;
+  Alcotest.(check (float 0.0)) "p999 accessor matches percentile"
+    (Metrics.histogram_percentile h 99.9)
+    p999;
+  Alcotest.(check bool) "p100 stays within observed range" true
+    (Metrics.histogram_percentile h 100.0 <= 99_999.0)
+
+let test_histogram_reservoir_deterministic () =
+  (* Same registry names, same observations: the seeded per-histogram
+     PRNG must reproduce the same sample (NV_PARALLEL-independence of
+     published SLO numbers depends on this). *)
+  let build () =
+    let reg = Metrics.create () in
+    let h = Metrics.histogram (Metrics.scope reg "lat") "ms" in
+    for i = 0 to 19_999 do
+      Metrics.observe h (float_of_int (i * 7 mod 10_000))
+    done;
+    List.map (Metrics.histogram_percentile h) [ 50.0; 99.0; 99.9 ]
+  in
+  Alcotest.(check (list (float 0.0))) "identical percentiles" (build ()) (build ())
+
 let test_timer () =
   let reg = Metrics.create () in
   let clock_now = ref 0.0 in
@@ -244,6 +282,10 @@ let () =
           Alcotest.test_case "kind clash" `Quick test_kind_clash;
           Alcotest.test_case "gauge" `Quick test_gauge;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "reservoir stays unbiased" `Quick
+            test_histogram_reservoir_unbiased;
+          Alcotest.test_case "reservoir deterministic" `Quick
+            test_histogram_reservoir_deterministic;
           Alcotest.test_case "timer" `Quick test_timer;
         ] );
       ( "export",

@@ -129,6 +129,71 @@ let prop_passwd_reexpress_involution =
         match Passwd.reexpress ~f once with Error _ -> false | Ok twice -> twice = text))
 
 (* ------------------------------------------------------------------ *)
+(* Passwd index                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let entry_of ~name ~uid =
+  Passwd.{ name; uid; gid = uid; gecos = ""; home = "/"; shell = "/bin/sh" }
+
+let prop_index_agrees_with_linear =
+  (* The indexed lookups must return exactly what the linear scans
+     return — including first-match semantics under duplicate names and
+     duplicate uids (small ranges force collisions). *)
+  QCheck.Test.make ~name:"index agrees with linear lookup/lookup_uid" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 0 40) (pair (int_bound 7) (int_bound 9)))
+        (pair (int_bound 7) (int_bound 9)))
+    (fun (raw, (probe_name, probe_uid)) ->
+      let entries =
+        List.map (fun (n, u) -> entry_of ~name:(Printf.sprintf "u%d" n) ~uid:u) raw
+      in
+      let idx = Passwd.index entries in
+      let name = Printf.sprintf "u%d" probe_name in
+      Passwd.find idx name = Passwd.lookup entries name
+      && Passwd.find_uid idx probe_uid = Passwd.lookup_uid entries probe_uid
+      && List.for_all
+           (fun e ->
+             Passwd.find idx e.Passwd.name = Passwd.lookup entries e.Passwd.name
+             && Passwd.find_uid idx e.Passwd.uid = Passwd.lookup_uid entries e.Passwd.uid)
+           entries)
+
+let test_index_sublinear () =
+  (* Pinned: per-lookup comparisons stay within 2 log2 n + 4 as the
+     population grows — the linear scan this replaced spent ~n/2. *)
+  List.iter
+    (fun n ->
+      let entries = Passwd.generate ~seed:5 n in
+      let idx = Passwd.index entries in
+      let before = Passwd.comparisons idx in
+      List.iter
+        (fun e -> ignore (Passwd.find_uid idx e.Passwd.uid))
+        entries;
+      let per_lookup =
+        float_of_int (Passwd.comparisons idx - before) /. float_of_int n
+      in
+      let bound = (2.0 *. (log (float_of_int n) /. log 2.0)) +. 4.0 in
+      if per_lookup > bound then
+        Alcotest.failf "n=%d: %.1f comparisons/lookup exceeds %.1f" n per_lookup bound)
+    [ 1_000; 4_000; 16_000 ]
+
+let test_index_size_and_misses () =
+  let entries = Passwd.sample @ Passwd.generate ~seed:3 100 in
+  let idx = Passwd.index entries in
+  Alcotest.(check int) "distinct uids" (List.length entries) (Passwd.index_size idx);
+  Alcotest.(check bool) "missing name" true (Passwd.find idx "mallory" = None);
+  Alcotest.(check bool) "missing uid" true (Passwd.find_uid idx 999_999_999 = None)
+
+let test_generate_deterministic () =
+  let a = Passwd.generate ~seed:9 500 in
+  let b = Passwd.generate ~seed:9 500 in
+  Alcotest.(check bool) "same seed, same population" true (a = b);
+  let c = Passwd.generate ~seed:10 500 in
+  Alcotest.(check bool) "different seed differs" true (a <> c);
+  Alcotest.(check bool) "uids start above sample" true
+    (List.for_all (fun e -> e.Passwd.uid >= 10_000) a)
+
+(* ------------------------------------------------------------------ *)
 (* Vfs                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -603,6 +668,24 @@ let test_syscall_detection_range () =
   Alcotest.(check bool) "cc_geq" true (Syscall.is_detection_call Syscall.sys_cc_geq);
   Alcotest.(check bool) "read not" false (Syscall.is_detection_call Syscall.sys_read)
 
+let test_vfs_size_and_read_range () =
+  let fs = world () in
+  (match Vfs.size fs ~path:"/home/alice/notes.txt" with
+  | Ok n -> Alcotest.(check int) "size" 6 n
+  | Error e -> Alcotest.failf "size: %s" (Vfs.error_to_string e));
+  (match Vfs.size fs ~path:"/etc" with
+  | Error Vfs.Eisdir -> ()
+  | Ok _ | Error _ -> Alcotest.fail "size of a directory should be Eisdir");
+  (match Vfs.read_range fs ~path:"/home/alice/notes.txt" ~pos:1 ~len:3 with
+  | Ok s -> Alcotest.(check string) "middle slice" "ell" s
+  | Error e -> Alcotest.failf "read_range: %s" (Vfs.error_to_string e));
+  (match Vfs.read_range fs ~path:"/home/alice/notes.txt" ~pos:4 ~len:100 with
+  | Ok s -> Alcotest.(check string) "clamped at EOF" "o\n" s
+  | Error e -> Alcotest.failf "read_range: %s" (Vfs.error_to_string e));
+  match Vfs.read_range fs ~path:"/home/alice/notes.txt" ~pos:100 ~len:4 with
+  | Ok s -> Alcotest.(check string) "past EOF is empty" "" s
+  | Error e -> Alcotest.failf "read_range: %s" (Vfs.error_to_string e)
+
 let () =
   Alcotest.run "nv_os"
     [
@@ -625,6 +708,13 @@ let () =
           Alcotest.test_case "group roundtrip" `Quick test_passwd_group_roundtrip;
         ]
         @ qsuite [ prop_passwd_reexpress_involution ] );
+      ( "passwd-index",
+        [
+          Alcotest.test_case "sublinear lookups" `Quick test_index_sublinear;
+          Alcotest.test_case "size and misses" `Quick test_index_size_and_misses;
+          Alcotest.test_case "generate deterministic" `Quick test_generate_deterministic;
+        ]
+        @ qsuite [ prop_index_agrees_with_linear ] );
       ( "vfs",
         [
           Alcotest.test_case "read perms" `Quick test_vfs_read;
@@ -637,6 +727,7 @@ let () =
           Alcotest.test_case "truncate" `Quick test_vfs_truncate;
           Alcotest.test_case "remove" `Quick test_vfs_remove;
           Alcotest.test_case "dump files" `Quick test_vfs_dump_files;
+          Alcotest.test_case "size and read_range" `Quick test_vfs_size_and_read_range;
           Alcotest.test_case "traversal normalization" `Quick
             test_vfs_traversal_normalization;
         ]

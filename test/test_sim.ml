@@ -226,6 +226,17 @@ let test_resource_utilization () =
   Engine.run e;
   Alcotest.(check (float 1e-9)) "util = 0.5" 0.5 (Resource.utilization cpu)
 
+let test_resource_utilization_horizon () =
+  (* Regression: busy time used to be charged in full when a job
+     *started*, so a horizon cut mid-job reported utilization > 1. A
+     job of duration 10 observed at t=1 is exactly 1 core-second in. *)
+  let e = Engine.create () in
+  let cpu = Resource.create e ~name:"cpu" ~capacity:1 in
+  Resource.serve cpu ~duration:10.0 (fun () -> ());
+  Engine.run e ~until:1.0;
+  Alcotest.(check (float 1e-9)) "pro-rated busy time" 1.0 (Resource.busy_time cpu);
+  Alcotest.(check (float 1e-9)) "util = 1, not 10" 1.0 (Resource.utilization cpu)
+
 let test_resource_invalid () =
   let e = Engine.create () in
   Alcotest.check_raises "capacity" (Invalid_argument "Resource.create: capacity must be >= 1")
@@ -267,6 +278,20 @@ let prop_resource_busy_time_is_total_duration =
       let total = List.fold_left ( +. ) 0.0 durations in
       abs_float (Resource.busy_time r -. total) < 1e-6)
 
+let prop_resource_utilization_bounded =
+  QCheck.Test.make ~name:"utilization never exceeds 1 at any horizon" ~count:100
+    QCheck.(
+      pair
+        (pair (int_range 1 4) (float_range 0.1 5.0))
+        (small_list (float_range 0.0 3.0)))
+    (fun ((capacity, horizon), durations) ->
+      let e = Engine.create () in
+      let r = Resource.create e ~name:"r" ~capacity in
+      List.iter (fun d -> Resource.serve r ~duration:d (fun () -> ())) durations;
+      Engine.run e ~until:horizon;
+      let u = Resource.utilization r in
+      0.0 <= u && u <= 1.0 +. 1e-9)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -299,8 +324,15 @@ let () =
           Alcotest.test_case "parallel capacity" `Quick test_resource_parallel_capacity;
           Alcotest.test_case "queue length" `Quick test_resource_queue_length;
           Alcotest.test_case "utilization" `Quick test_resource_utilization;
+          Alcotest.test_case "utilization at mid-job horizon" `Quick
+            test_resource_utilization_horizon;
           Alcotest.test_case "invalid args" `Quick test_resource_invalid;
           Alcotest.test_case "completion resubmits" `Quick test_resource_completion_resubmits;
         ]
-        @ qsuite [ prop_resource_conserves_jobs; prop_resource_busy_time_is_total_duration ] );
+        @ qsuite
+            [
+              prop_resource_conserves_jobs;
+              prop_resource_busy_time_is_total_duration;
+              prop_resource_utilization_bounded;
+            ] );
     ]

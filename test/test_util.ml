@@ -139,6 +139,21 @@ let test_stats_summarize () =
   check_float "max" 3.0 s.Stats.max;
   check_float "p50" 2.0 s.Stats.p50
 
+let test_stats_rejects_nan () =
+  (* Regression: the polymorphic-compare sort treated NaN as orderable
+     and silently produced garbage percentiles; now it is an error. *)
+  Alcotest.check_raises "percentile" (Invalid_argument "Stats.percentile: NaN in input")
+    (fun () -> ignore (Stats.percentile [| 1.0; nan; 3.0 |] 50.0));
+  Alcotest.check_raises "summarize" (Invalid_argument "Stats.summarize: NaN in input")
+    (fun () -> ignore (Stats.summarize [| nan |]))
+
+let test_stats_orders_negatives_and_infinities () =
+  (* Float.compare orders the full float line (minus NaN). *)
+  let xs = [| infinity; -3.0; 0.0; neg_infinity; 2.0 |] in
+  check_float "p0" neg_infinity (Stats.percentile xs 0.0);
+  check_float "p50" 0.0 (Stats.percentile xs 50.0);
+  check_float "p100" infinity (Stats.percentile xs 100.0)
+
 let prop_stats_percentile_monotone =
   QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
     QCheck.(pair (list_of_size (Gen.int_range 1 40) (float_range 0.0 100.0))
@@ -240,6 +255,9 @@ let () =
           Alcotest.test_case "percentile unsorted" `Quick test_stats_percentile_unsorted_input;
           Alcotest.test_case "percentile invalid" `Quick test_stats_percentile_invalid;
           Alcotest.test_case "summarize" `Quick test_stats_summarize;
+          Alcotest.test_case "rejects NaN" `Quick test_stats_rejects_nan;
+          Alcotest.test_case "orders negatives and infinities" `Quick
+            test_stats_orders_negatives_and_infinities;
         ]
         @ qsuite [ prop_stats_percentile_monotone; prop_stats_mean_between_min_max ] );
       ( "tablefmt",
