@@ -662,13 +662,17 @@ let monitor_hostperf ~icache ~requests =
     let instructions = Monitor.instructions_retired monitor - instr0 in
     (instructions, mips instructions dt)
 
-(* Rendezvous-heavy microbench for domain-parallel variant execution:
-   an outer loop of cond_chk rendezvous (syscall 21) separated by pure
-   compute spins, so the monitor alternates between the barrier and
-   long independent quanta — the shape parallel mode accelerates. *)
+(* Microbench for domain-parallel variant execution: an outer loop of
+   cond_chk detection calls (syscall 21) separated by pure compute
+   spins. cond_chk is a relaxed call, so under the pinned-domain engine
+   each variant posts its record and keeps running — the variants
+   free-run concurrently all the way to exit (the one sensitive call),
+   where the deferred batch is cross-checked. Sequential mode performs
+   the identical checks inline on one domain, so the speedup column
+   isolates what pinning buys. *)
 let parperf_rendezvous = 40
 
-let parperf_spin = 5_000
+let parperf_spin = 25_000
 
 let parperf_program =
   Printf.sprintf
@@ -696,6 +700,7 @@ let parperf_program =
 let parallel_hostperf ~variants ~parallel ~reps =
   let image = Nv_vm.Asm.assemble parperf_program in
   let instructions = ref 0 in
+  let relaxed = ref 0 in
   let best = ref 0. in
   for _ = 1 to reps do
     let sys =
@@ -707,10 +712,12 @@ let parallel_hostperf ~variants ~parallel ~reps =
     | Monitor.Exited 0 -> ()
     | _ -> failwith "hostperf: parallel microbench did not exit cleanly");
     let dt = Unix.gettimeofday () -. t0 in
-    instructions := Monitor.instructions_retired (Nsystem.monitor sys);
+    let monitor = Nsystem.monitor sys in
+    instructions := Monitor.instructions_retired monitor;
+    relaxed := (Monitor.stats monitor).Monitor.st_relaxed_checks;
     best := Float.max !best (mips !instructions dt)
   done;
-  (!instructions, !best)
+  (!instructions, !relaxed, !best)
 
 let report_hostperf ?(path = "BENCH_results.json") () =
   section "HOSTPERF: host wall-clock guest-MIPS (interpreter and 2-variant monitor)";
@@ -739,33 +746,37 @@ let report_hostperf ?(path = "BENCH_results.json") () =
     ();
   Printf.printf "interpreter guest-MIPS speedup vs. reference decoder: %.2fx (target >= 3x)\n"
     interp_speedup;
-  let workers = Nv_util.Dompool.size (Nv_util.Dompool.global ()) in
+  let host_cores = Domain.recommended_domain_count () in
   let par_variants = [ 2; 4 ] in
   let par_rows =
     List.map
       (fun variants ->
-        let instr, seq_mips = parallel_hostperf ~variants ~parallel:false ~reps:3 in
-        let _, par_mips = parallel_hostperf ~variants ~parallel:true ~reps:3 in
-        (variants, instr, seq_mips, par_mips, par_mips /. seq_mips))
+        let instr, relaxed, seq_mips = parallel_hostperf ~variants ~parallel:false ~reps:3 in
+        let _, _, par_mips = parallel_hostperf ~variants ~parallel:true ~reps:3 in
+        (variants, instr, relaxed, seq_mips, par_mips, par_mips /. seq_mips))
       par_variants
   in
   Nv_util.Tablefmt.print
     ~header:
-      [ "configuration"; "guest instructions"; "sequential MIPS"; "parallel MIPS"; "speedup" ]
+      [
+        "configuration"; "guest instructions"; "relaxed checks"; "sequential MIPS";
+        "parallel MIPS"; "speedup";
+      ]
     ~rows:
       (List.map
-         (fun (variants, instr, seq_mips, par_mips, speedup) ->
+         (fun (variants, instr, relaxed, seq_mips, par_mips, speedup) ->
            [
-             Printf.sprintf "%d-variant rendezvous microbench" variants;
-             string_of_int instr; Printf.sprintf "%.2f" seq_mips;
-             Printf.sprintf "%.2f" par_mips; Printf.sprintf "%.2fx" speedup;
+             Printf.sprintf "%d-variant relaxed microbench" variants;
+             string_of_int instr; string_of_int relaxed;
+             Printf.sprintf "%.2f" seq_mips; Printf.sprintf "%.2f" par_mips;
+             Printf.sprintf "%.2fx" speedup;
            ])
          par_rows)
     ();
   Printf.printf
-    "domain pool: %d worker(s) on this host (parallel speedup needs a multi-core host;\n\
-     with one worker the two modes run the same code on one domain)\n"
-    workers;
+    "engine: one pinned domain per variant; host has %d core(s) (parallel speedup\n\
+     needs a multi-core host — on one core both modes run the same relaxed protocol)\n"
+    host_cores;
   let mode name instructions ref_mips fast_mips speedup =
     ( name,
       Json.Obj
@@ -776,15 +787,17 @@ let report_hostperf ?(path = "BENCH_results.json") () =
           ("speedup", Json.Num speedup);
         ] )
   in
-  let par_mode (variants, instructions, seq_mips, par_mips, speedup) =
+  let par_mode (variants, instructions, relaxed, seq_mips, par_mips, speedup) =
     ( Printf.sprintf "parallel_%dvariant" variants,
       Json.Obj
         [
           ("instructions", Json.Num (float_of_int instructions));
+          ("relaxed_checks", Json.Num (float_of_int relaxed));
           ("sequential_mips", Json.Num seq_mips);
           ("parallel_mips", Json.Num par_mips);
           ("speedup", Json.Num speedup);
-          ("pool_workers", Json.Num (float_of_int workers));
+          ("engine_workers", Json.Num (float_of_int variants));
+          ("host_cores", Json.Num (float_of_int host_cores));
         ] )
   in
   update_json_obj path

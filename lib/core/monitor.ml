@@ -3,10 +3,12 @@ module Word = Nv_vm.Word
 module Memory = Nv_vm.Memory
 module Image = Nv_vm.Image
 module Kernel = Nv_os.Kernel
+module Cred = Nv_os.Cred
 module Syscall = Nv_os.Syscall
 module Sysabi = Nv_os.Sysabi
 module Metrics = Nv_util.Metrics
 module Dompool = Nv_util.Dompool
+module Spsc = Nv_util.Spsc
 
 type outcome = Exited of int | Alarm of Alarm.reason | Blocked_on_accept | Out_of_fuel
 
@@ -21,21 +23,53 @@ type pending_signal = {
   delivered : bool array;
 }
 
+(* A relaxed syscall, executed locally by a variant between rendezvous
+   points and posted to the coordinator for deferred cross-checking.
+   [rc_retired] is the variant's retired-instruction count at the call
+   (the latency stream is reconstructed from these, exactly as an
+   eager rendezvous would have observed it); [rc_c0]/[rc_c1] are the
+   canonicalized (reexpression-decoded) argument images the coordinator
+   compares; [rc_raw] carries the five raw argument registers only
+   when a tracer is installed (the trace events must be identical to
+   the eager engine's). *)
+type relaxed_record = {
+  rc_number : int;
+  rc_retired : int;
+  rc_a0 : int;
+  rc_c0 : int;
+  rc_c1 : int;
+  rc_raw : int array;
+}
+
+(* Why a variant stopped running and handed control back to the
+   coordinator. [A_syscall] (parked at a sensitive — or, with a
+   rendezvous-synchronized signal pending, any — syscall trap) is the
+   only arrival that persists across [run] calls: the call has not been
+   dispatched yet, so the variant must not be re-released over it. *)
+type arrival =
+  | A_syscall
+  | A_fault of Cpu.fault
+  | A_halt
+  | A_fuel
+  | A_raised of exn * Printexc.raw_backtrace
+
 (* Concurrency discipline (see docs/architecture.md, "Concurrency"):
-   between two rendezvous points each variant's [Image.loaded] (CPU,
-   memory, icache) plus its own [delivered.(i)] slot are owned by the
-   domain running that variant's quantum; everything else — the kernel,
-   the metrics registry, [t.signal], the tracer, the metric-handle
-   caches and [canon_scratch] — is only ever touched by the
-   coordinator domain, after the join. A quantum therefore performs no
+   while released, each variant's [Image.loaded] (CPU, memory, icache)
+   plus its own [delivered.(i)] slot are owned by the domain pinned to
+   that variant; everything else — the kernel, the metrics registry,
+   [t.signal], the tracer, the metric-handle caches, [canon_scratch],
+   the [deferred] queues and [arrivals] — is only ever touched by the
+   coordinator domain, between rounds. A released variant performs no
    [Metrics] mutation and never clears [t.signal]; the coordinator
-   counts deliveries by diffing the [delivered] flags across the join
-   and clears the signal itself. *)
+   counts deliveries by diffing the [delivered] flags after the round
+   and clears the signal itself. In parallel mode all cross-domain
+   traffic flows through SPSC rings whose atomic operations order the
+   plain reads/writes on either side. *)
 type t = {
   kernel : Kernel.t;
   variation : Variation.t;
   variants : Image.loaded array;
-  pool : Dompool.t option;  (* Some = run quanta on worker domains *)
+  parallel : bool;  (* pin each variant to its own domain during run *)
   mutable tracer : (event -> unit) option;
   mutable signal : pending_signal option;
   (* Fault-injection hook: perturb the replicated bytes a shared read
@@ -51,7 +85,16 @@ type t = {
   input_bytes_replicated_c : Metrics.counter;
   output_writes_checked_c : Metrics.counter;
   signals_delivered_c : Metrics.counter;
+  relaxed_checks_c : Metrics.counter;
+  deferred_batch_h : Metrics.histogram;
   mutable last_rendezvous_instr : int;
+  (* Relaxed-engine state (coordinator-owned): per-variant queues of
+     posted-but-unchecked relaxed calls, the parked arrival per
+     variant, and the size of the deferred batch flushed since the
+     last flush boundary. *)
+  deferred : relaxed_record Queue.t array;
+  arrivals : arrival option array;
+  mutable flush_batch : int;
   (* Hot-path caches: metric handles resolved per syscall number on
      first use (no hashtable lookup per rendezvous thereafter) and a
      scratch array reused by the canon_* argument checks. *)
@@ -64,14 +107,10 @@ type t = {
    a by-name lookup (they only occur on unknown-syscall attacks). *)
 let syscall_slots = 32
 
-let create ?metrics ?parallel ?pool ?(segment_size = 1 lsl 20)
+let create ?metrics ?parallel ?(segment_size = 1 lsl 20)
     ?(stack_size = 64 * 1024) ~kernel ~variation images =
   let parallel =
     match parallel with Some b -> b | None -> Dompool.env_default ()
-  in
-  let pool =
-    if not parallel then None
-    else Some (match pool with Some p -> p | None -> Dompool.global ())
   in
   let n = Variation.count variation in
   if Array.length images <> n then
@@ -94,7 +133,7 @@ let create ?metrics ?parallel ?pool ?(segment_size = 1 lsl 20)
     kernel;
     variation;
     variants;
-    pool;
+    parallel;
     tracer = None;
     signal = None;
     input_fault = None;
@@ -108,7 +147,12 @@ let create ?metrics ?parallel ?pool ?(segment_size = 1 lsl 20)
     input_bytes_replicated_c = Metrics.counter scope "input_bytes_replicated";
     output_writes_checked_c = Metrics.counter scope "output_writes_checked";
     signals_delivered_c = Metrics.counter scope "signals_delivered";
+    relaxed_checks_c = Metrics.counter scope "relaxed_checks";
+    deferred_batch_h = Metrics.histogram scope "deferred_batch_size";
     last_rendezvous_instr = 0;
+    deferred = Array.init n (fun _ -> Queue.create ());
+    arrivals = Array.make n None;
+    flush_batch = 0;
     calls_by_number = Array.make syscall_slots None;
     latency_by_number = Array.make syscall_slots None;
     canon_scratch = Array.make n 0;
@@ -140,7 +184,7 @@ let latency_histogram t n =
 
 let kernel t = t.kernel
 
-let parallel t = Option.is_some t.pool
+let parallel t = t.parallel
 
 let variation t = t.variation
 
@@ -164,6 +208,7 @@ type stats = {
   st_input_bytes_replicated : int;
   st_output_writes_checked : int;
   st_signals_delivered : int;
+  st_relaxed_checks : int;
 }
 
 let stats t =
@@ -177,6 +222,7 @@ let stats t =
     st_input_bytes_replicated = Metrics.counter_value t.input_bytes_replicated_c;
     st_output_writes_checked = Metrics.counter_value t.output_writes_checked_c;
     st_signals_delivered = Metrics.counter_value t.signals_delivered_c;
+    st_relaxed_checks = Metrics.counter_value t.relaxed_checks_c;
   }
 
 let set_tracer t f = t.tracer <- Some f
@@ -311,6 +357,166 @@ let trace t ~syscall ~raws note =
         ev_raw_args = Array.map (fun (r : Sysabi.raw) -> Array.copy r.Sysabi.args) raws;
         ev_note = note;
       }
+
+(* ------------------------------------------------------------------ *)
+(* Relaxed monitoring                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The cc_eq .. cc_geq comparison on canonical values; shared between
+   the eager dispatch path and the relaxed engine so both compute the
+   identical result. *)
+let cc_compute n a b =
+  if n = Syscall.sys_cc_eq then a = b
+  else if n = Syscall.sys_cc_neq then a <> b
+  else if n = Syscall.sys_cc_lt then Word.lt_unsigned a b
+  else if n = Syscall.sys_cc_leq then not (Word.lt_unsigned b a)
+  else if n = Syscall.sys_cc_gt then Word.lt_unsigned b a
+  else not (Word.lt_unsigned a b)
+
+(* Execute a relaxed syscall locally for variant [i] and return the
+   record the coordinator will cross-check later. Runs on the variant's
+   domain: [cred] is the coordinator's snapshot of the kernel
+   credentials (stable for the whole release — every credential
+   mutation is a Sensitive call, which parks all variants first), and
+   everything touched is variant-[i]-owned per the concurrency
+   discipline. The result each variant computes is exactly what the
+   eager dispatch would have delivered to it. *)
+let relaxed_call t i ~cred ~trace_args n =
+  let cpu = t.variants.(i).Image.cpu in
+  let raw = Sysabi.of_cpu cpu in
+  let spec = uid_spec t i in
+  let a0 = raw.Sysabi.args.(0) in
+  let result, c0, c1 =
+    if n = Syscall.sys_getuid then (spec.Reexpression.encode cred.Cred.ruid, 0, 0)
+    else if n = Syscall.sys_geteuid then (spec.Reexpression.encode cred.Cred.euid, 0, 0)
+    else if n = Syscall.sys_getgid then (spec.Reexpression.encode cred.Cred.rgid, 0, 0)
+    else if n = Syscall.sys_getegid then (spec.Reexpression.encode cred.Cred.egid, 0, 0)
+    else if n = Syscall.sys_uid_value then (a0, spec.Reexpression.decode a0, 0)
+    else if n = Syscall.sys_cond_chk then (a0, a0, 0)
+    else begin
+      (* cc_eq .. cc_geq: decode both UID arguments with this variant's
+         own inverse; the coordinator checks the canonical values agree
+         across variants at flush time. *)
+      let a = spec.Reexpression.decode a0 in
+      let b = spec.Reexpression.decode raw.Sysabi.args.(1) in
+      ((if cc_compute n a b then 1 else 0), a, b)
+    end
+  in
+  let rc_raw = if trace_args then Array.copy raw.Sysabi.args else [||] in
+  Sysabi.set_result cpu result;
+  {
+    rc_number = n;
+    rc_retired = Cpu.instructions_retired cpu;
+    rc_a0 = a0;
+    rc_c0 = c0;
+    rc_c1 = c1;
+    rc_raw;
+  }
+
+(* Cross-check one deferred position: the [i]-th record of every
+   variant's queue, popped together. Metric and trace order replays the
+   eager rendezvous exactly — rendezvous count, syscall-number check,
+   per-call counter, latency observation (from the retired counts the
+   variants recorded at the call, so the histogram is identical to what
+   lockstep execution would have measured), then the argument checks —
+   so a benign run is byte-for-byte indistinguishable from eager
+   monitoring and a divergent one raises the same alarm with the same
+   payload. Raises [Alarm_exn] on mismatch. *)
+let flush_position t (records : relaxed_record array) =
+  Metrics.incr t.rendezvous_c;
+  let numbers = Array.map (fun r -> r.rc_number) records in
+  Metrics.incr t.checks_performed;
+  if not (all_equal numbers) then begin
+    Metrics.incr t.checks_failed;
+    raise (Alarm_exn (Alarm.Syscall_mismatch { numbers }))
+  end;
+  let syscall = numbers.(0) in
+  Metrics.incr (call_counter t syscall);
+  let now = Array.fold_left (fun acc r -> acc + r.rc_retired) 0 records in
+  Metrics.observe
+    (latency_histogram t syscall)
+    (float_of_int (now - t.last_rendezvous_instr));
+  t.last_rendezvous_instr <- now;
+  let trace note =
+    match t.tracer with
+    | None -> ()
+    | Some f ->
+      f
+        {
+          ev_syscall = syscall;
+          ev_raw_args = Array.map (fun r -> r.rc_raw) records;
+          ev_note = note;
+        }
+  in
+  let scratch = t.canon_scratch in
+  (if
+     syscall = Syscall.sys_getuid
+     || syscall = Syscall.sys_geteuid
+     || syscall = Syscall.sys_getgid
+     || syscall = Syscall.sys_getegid
+   then begin
+     (* No arguments to check; replay the kernel read (and its metric)
+        the eager path would have performed as leader. *)
+     let k = t.kernel in
+     let canonical =
+       if syscall = Syscall.sys_getuid then Kernel.sys_getuid k
+       else if syscall = Syscall.sys_geteuid then Kernel.sys_geteuid k
+       else if syscall = Syscall.sys_getgid then Kernel.sys_getgid k
+       else Kernel.sys_getegid k
+     in
+     trace
+       (Format.asprintf "%s -> canonical %a, reexpressed per variant"
+          (Syscall.name syscall) Word.pp canonical)
+   end
+   else if syscall = Syscall.sys_uid_value then begin
+     Array.iteri (fun i r -> scratch.(i) <- r.rc_c0) records;
+     check_scratch t ~syscall ~index:0;
+     trace
+       (Format.asprintf "uid_value: canonical %a equivalent in all variants" Word.pp
+          scratch.(0))
+   end
+   else if syscall = Syscall.sys_cond_chk then begin
+     let values = Array.map (fun r -> r.rc_a0) records in
+     check t ~fail:(fun () -> Alarm.Cond_mismatch { values }) (all_equal values);
+     trace (Printf.sprintf "cond_chk(%d): paths agree" values.(0))
+   end
+   else begin
+     Array.iteri (fun i r -> scratch.(i) <- r.rc_c0) records;
+     check_scratch t ~syscall ~index:0;
+     let a = scratch.(0) in
+     Array.iteri (fun i r -> scratch.(i) <- r.rc_c1) records;
+     check_scratch t ~syscall ~index:1;
+     let b = scratch.(0) in
+     trace
+       (Format.asprintf "%s(%a, %a) = %b on canonical values" (Syscall.name syscall)
+          Word.pp a Word.pp b (cc_compute syscall a b))
+   end);
+  Metrics.incr t.relaxed_checks_c;
+  t.flush_batch <- t.flush_batch + 1
+
+(* Flush every complete position: while all queues are non-empty, pop
+   one record per variant and cross-check them. Records are popped
+   before [flush_position] can raise, so an alarming position is
+   consumed — a re-run does not re-check it (the variants have long
+   since moved past it). *)
+let flush_prefix t =
+  let rec go () =
+    if Array.for_all (fun q -> not (Queue.is_empty q)) t.deferred then begin
+      let records = Array.map Queue.pop t.deferred in
+      flush_position t records;
+      go ()
+    end
+  in
+  match go () with () -> Ok () | exception Alarm_exn reason -> Error reason
+
+(* A flush boundary (a full rendezvous, or [run] returning): the batch
+   of relaxed checks settled since the previous boundary is observed
+   into the histogram. *)
+let flush_boundary t =
+  if t.flush_batch > 0 then begin
+    Metrics.observe t.deferred_batch_h (float_of_int t.flush_batch);
+    t.flush_batch <- 0
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Rendezvous dispatch                                                 *)
@@ -519,14 +725,7 @@ let dispatch t ~now_instr (raws : Sysabi.raw array) =
        then the comparison is computed once on canonical values. *)
     let a = canon_uid t ~raws ~syscall ~index:0 in
     let b = canon_uid t ~raws ~syscall ~index:1 in
-    let result =
-      if n = Syscall.sys_cc_eq then a = b
-      else if n = Syscall.sys_cc_neq then a <> b
-      else if n = Syscall.sys_cc_lt then Word.lt_unsigned a b
-      else if n = Syscall.sys_cc_leq then not (Word.lt_unsigned b a)
-      else if n = Syscall.sys_cc_gt then Word.lt_unsigned b a
-      else not (Word.lt_unsigned a b)
-    in
+    let result = cc_compute n a b in
     trace t ~syscall ~raws
       (Format.asprintf "%s(%a, %a) = %b on canonical values" (Syscall.name n) Word.pp a
          Word.pp b result);
@@ -634,18 +833,230 @@ let run_variant_to_trap t i ~fuel =
   in
   go fuel
 
-(* A quantum's result, with exceptions reified so that the parallel
-   path can join every variant and then fail deterministically. *)
-type quantum =
-  | Q_trap of Cpu.trap
-  | Q_fuel
-  | Q_raised of exn * Printexc.raw_backtrace
+(* Release variant [i] for a multi-call stretch: run to the next trap,
+   execute relaxed syscalls locally (posting a record through [emit]
+   and continuing), and stop with an [arrival] at the first sensitive
+   call, fault, halt, fuel exhaustion or exception. [fuel] is the whole
+   round budget, an engine-defined cutoff identical in both execution
+   modes (so where a variant stops — and therefore every downstream
+   check — is mode-independent). Runs on the variant's domain in
+   parallel mode; everything touched is variant-[i]-owned. *)
+let run_variant_release t i ~fuel ~cred ~relaxed_ok ~trace_args ~emit =
+  let cpu = t.variants.(i).Image.cpu in
+  let start = Cpu.instructions_retired cpu in
+  let rec go () =
+    let left = fuel - (Cpu.instructions_retired cpu - start) in
+    if left <= 0 then A_fuel
+    else begin
+      match run_variant_to_trap t i ~fuel:left with
+      | Cpu.Out_of_fuel -> A_fuel
+      | Cpu.Trapped Cpu.Halt_trap -> A_halt
+      | Cpu.Trapped (Cpu.Fault_trap fault) -> A_fault fault
+      | Cpu.Trapped Cpu.Syscall_trap ->
+        let n = (Sysabi.of_cpu cpu).Sysabi.number in
+        if relaxed_ok && Syscall.is_relaxed n then begin
+          emit (relaxed_call t i ~cred ~trace_args n);
+          go ()
+        end
+        else A_syscall
+      | exception e -> A_raised (e, Printexc.get_raw_backtrace ())
+    end
+  in
+  go ()
 
-let run_variant_quantum t i ~fuel =
-  match run_variant_to_trap t i ~fuel with
-  | Cpu.Trapped trap -> Q_trap trap
-  | Cpu.Out_of_fuel -> Q_fuel
-  | exception e -> Q_raised (e, Printexc.get_raw_backtrace ())
+(* ------------------------------------------------------------------ *)
+(* Pinned-domain engine                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Spin-then-park doorbell. The waiter spins briefly on its poll, then
+   publishes [asleep] and re-polls before blocking; a ringer makes its
+   state visible (an SPSC push is an [Atomic] store) and then reads
+   [asleep]. Sequential consistency of the two atomics closes the
+   sleep/ring race: if the ringer misses [asleep], the waiter's re-poll
+   is ordered after the ringer's push and sees the state change. *)
+type doorbell = {
+  db_mutex : Mutex.t;
+  db_cond : Condition.t;
+  db_asleep : bool Atomic.t;
+}
+
+let doorbell () =
+  { db_mutex = Mutex.create (); db_cond = Condition.create (); db_asleep = Atomic.make false }
+
+let bell_ring b =
+  if Atomic.get b.db_asleep then begin
+    Mutex.lock b.db_mutex;
+    Condition.broadcast b.db_cond;
+    Mutex.unlock b.db_mutex
+  end
+
+let bell_spins = 128
+
+let bell_wait b poll =
+  let rec spin k =
+    if poll () then true
+    else if k = 0 then false
+    else begin
+      Domain.cpu_relax ();
+      spin (k - 1)
+    end
+  in
+  if not (spin bell_spins) then begin
+    Mutex.lock b.db_mutex;
+    Atomic.set b.db_asleep true;
+    while not (poll ()) do
+      Condition.wait b.db_cond b.db_mutex
+    done;
+    Atomic.set b.db_asleep false;
+    Mutex.unlock b.db_mutex
+  end
+
+(* Per-variant command/event channel between the coordinator and the
+   variant's pinned domain. The command ring never holds more than one
+   release plus the final stop; the event ring absorbs a burst of
+   relaxed records before the producer has to wake the coordinator. *)
+type cmd =
+  | C_release of { fuel : int; cred : Cred.t; relaxed_ok : bool; trace_args : bool }
+  | C_stop
+
+type evt = E_record of relaxed_record | E_arrival of arrival
+
+type link = {
+  lk_cmd : cmd Spsc.t;
+  lk_evt : evt Spsc.t;
+  lk_bell : doorbell;  (* the variant domain parks here *)
+}
+
+let evt_ring_capacity = 512
+
+(* Body of one pinned variant domain: park until a command arrives,
+   run the release, stream records and the final arrival back, repeat
+   until stopped. The only monitor state it touches is variant-[i]'s.
+
+   Wakeup discipline: the coordinator only needs to hear about the
+   {e arrival} (the round cannot end before it) and about back-pressure
+   (a full event ring it must drain). A successfully-pushed record is
+   silent — the coordinator will find it when the arrival wakes it —
+   which keeps the hot path free of futex traffic. *)
+let variant_domain t i link coord_bell =
+  let push ~urgent evt =
+    let rec go () =
+      if Spsc.try_push link.lk_evt evt then begin
+        if urgent then bell_ring coord_bell
+      end
+      else begin
+        (* Ring full: make sure the consumer is awake, then park until
+           it drains a slot. *)
+        bell_ring coord_bell;
+        bell_wait link.lk_bell (fun () ->
+            Spsc.length link.lk_evt < Spsc.capacity link.lk_evt);
+        go ()
+      end
+    in
+    go ()
+  in
+  let rec serve () =
+    bell_wait link.lk_bell (fun () -> Spsc.length link.lk_cmd > 0);
+    match Spsc.try_pop link.lk_cmd with
+    | None -> serve ()
+    | Some C_stop -> ()
+    | Some (C_release { fuel; cred; relaxed_ok; trace_args }) ->
+      let emit rc = push ~urgent:false (E_record rc) in
+      push ~urgent:true
+        (E_arrival (run_variant_release t i ~fuel ~cred ~relaxed_ok ~trace_args ~emit));
+      serve ()
+  in
+  serve ()
+
+(* Coordinator side of one round: release the given variants on their
+   domains, then drain their event rings — records into the deferred
+   queues in production order, arrivals into [t.arrivals] — until every
+   released variant has arrived. Popping a variant's arrival happens
+   strictly after all its records (SPSC FIFO), so the queues are
+   complete when the round ends. *)
+let run_round_parallel t links coord_bell ~released ~fuel ~cred ~relaxed_ok ~trace_args =
+  let n = Array.length links in
+  let waiting = Array.make n false in
+  let pending = ref 0 in
+  Array.iter
+    (fun i ->
+      waiting.(i) <- true;
+      incr pending;
+      if not (Spsc.try_push links.(i).lk_cmd (C_release { fuel; cred; relaxed_ok; trace_args }))
+      then assert false;
+      bell_ring links.(i).lk_bell)
+    released;
+  let poll () =
+    let any = ref false in
+    for i = 0 to n - 1 do
+      if waiting.(i) && Spsc.length links.(i).lk_evt > 0 then any := true
+    done;
+    !any
+  in
+  while !pending > 0 do
+    let progress = ref false in
+    for i = 0 to n - 1 do
+      if waiting.(i) then begin
+        (* A producer only parks on a full ring, and nothing but this
+           loop drains it — so "full at drain start" is exactly the
+           case where a wake may be owed afterwards. *)
+        let was_full = Spsc.length links.(i).lk_evt >= Spsc.capacity links.(i).lk_evt in
+        let drained = ref false in
+        let continue_ = ref true in
+        while !continue_ do
+          match Spsc.try_pop links.(i).lk_evt with
+          | None -> continue_ := false
+          | Some (E_record rc) ->
+            drained := true;
+            Queue.add rc t.deferred.(i)
+          | Some (E_arrival a) ->
+            drained := true;
+            t.arrivals.(i) <- Some a;
+            waiting.(i) <- false;
+            decr pending;
+            continue_ := false
+        done;
+        if !drained then begin
+          progress := true;
+          if was_full then bell_ring links.(i).lk_bell
+        end
+      end
+    done;
+    if !pending > 0 && not !progress then bell_wait coord_bell poll
+  done
+
+(* Spawn one pinned domain per variant for the duration of [f]; domains
+   are joined on every exit path. Domain spawn/join is per-[run], not
+   per-rendezvous — the old engine paid a pool handoff per syscall. *)
+let with_engine t f =
+  if not t.parallel then f None
+  else begin
+    let coord_bell = doorbell () in
+    let links =
+      Array.map
+        (fun _ ->
+          {
+            lk_cmd = Spsc.create ~capacity:2;
+            lk_evt = Spsc.create ~capacity:evt_ring_capacity;
+            lk_bell = doorbell ();
+          })
+        t.variants
+    in
+    let domains =
+      Array.mapi
+        (fun i link -> Domain.spawn (fun () -> variant_domain t i link coord_bell))
+        links
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter
+          (fun link ->
+            if not (Spsc.try_push link.lk_cmd C_stop) then assert false;
+            bell_ring link.lk_bell)
+          links;
+        Array.iter Domain.join domains)
+      (fun () -> f (Some (links, coord_bell)))
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Lockstep execution                                                  *)
@@ -658,35 +1069,62 @@ let alarmed t reason =
   Logs.info ~src:Nv_util.Logsrc.monitor (fun m -> m "alarm: %a" Alarm.pp reason);
   Alarm reason
 
+(* The run loop: rounds of released execution separated by coordinator
+   turns. Per round, every variant without a parked arrival is released
+   for a multi-call stretch (inline when sequential, on its pinned
+   domain when parallel — the protocol is otherwise identical, which is
+   what makes seq==par bit-determinism hold); the coordinator then
+   cross-checks every complete deferred position, handles exceptional
+   arrivals in deterministic (lowest-index) order, and performs a full
+   rendezvous once every variant is parked live at a sensitive call.
+
+   [A_syscall] arrivals persist across [run] calls — the parked call
+   has not been dispatched, so the variant must not be re-released over
+   it; all other arrivals are transient. *)
 let run ?(fuel = 50_000_000) t =
   let deadline = instructions_retired t + fuel in
-  let indices = Array.init (Array.length t.variants) Fun.id in
-  (* [now] is the retired-instruction total entering the iteration; it
-     is recomputed exactly once per iteration (after the variants run)
-     and threaded through, instead of folding over the variants both
-     here and in [dispatch]. *)
-  let rec loop now =
-    let remaining = deadline - now in
-    if remaining <= 0 then Out_of_fuel
+  let n = Array.length t.variants in
+  let finish outcome =
+    flush_boundary t;
+    outcome
+  in
+  with_engine t @@ fun engine ->
+  let rec loop () =
+    let remaining = deadline - instructions_retired t in
+    if remaining <= 0 then finish Out_of_fuel
     else begin
+      (* Round parameters, fixed by the coordinator before any variant
+         moves: identical in both modes and stable for the round. While
+         an [At_rendezvous] signal is pending, relaxation is off — every
+         trap is an arrival, so the delivery point is a full rendezvous
+         in both modes. *)
+      let relaxed_ok =
+        match t.signal with Some { mode = At_rendezvous; _ } -> false | Some _ | None -> true
+      in
+      let trace_args = t.tracer <> None in
+      let cred = Kernel.cred t.kernel in
       (* Snapshot the Immediate-delivery flags so deliveries performed
-         inside the quanta can be counted after the join. *)
+         inside the round can be counted after it. *)
       let delivered_before =
         match t.signal with Some s -> Array.copy s.delivered | None -> [||]
       in
-      (* Run each variant to its next trap — on worker domains when a
-         pool is attached, inline otherwise. Both paths run every
-         variant's quantum to completion (even when one raises), so
-         the machine state at the join is mode-independent. *)
-      let quanta =
-        match t.pool with
-        | None -> Array.map (fun i -> run_variant_quantum t i ~fuel:remaining) indices
-        | Some pool ->
-          Dompool.map_array pool
-            (fun i -> run_variant_quantum t i ~fuel:remaining)
-            indices
-      in
-      (* Coordinator-side signal bookkeeping for this quantum. *)
+      (match engine with
+      | None ->
+        for i = 0 to n - 1 do
+          if t.arrivals.(i) = None then
+            t.arrivals.(i) <-
+              Some
+                (run_variant_release t i ~fuel:remaining ~cred ~relaxed_ok ~trace_args
+                   ~emit:(fun rc -> Queue.add rc t.deferred.(i)))
+        done
+      | Some (links, coord_bell) ->
+        let released = ref [] in
+        for i = n - 1 downto 0 do
+          if t.arrivals.(i) = None then released := i :: !released
+        done;
+        run_round_parallel t links coord_bell ~released:(Array.of_list !released)
+          ~fuel:remaining ~cred ~relaxed_ok ~trace_args);
+      (* Coordinator-side signal bookkeeping for this round. *)
       (match t.signal with
       | Some s ->
         Array.iteri
@@ -696,85 +1134,147 @@ let run ?(fuel = 50_000_000) t =
           s.delivered;
         clear_if_fully_delivered t
       | None -> ());
-      (* Deterministic failure order: the lowest variant index wins,
-         regardless of which domain finished first. *)
-      let first_raised = ref None in
-      Array.iter
-        (fun q ->
-          match (q, !first_raised) with
-          | (Q_raised (e, bt), None) -> first_raised := Some (e, bt)
-          | _ -> ())
-        quanta;
-      match !first_raised with
-      | Some (Alarm_exn reason, _) -> alarmed t reason
-      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-      | None ->
-      if Array.exists (function Q_fuel -> true | _ -> false) quanta then Out_of_fuel
-      else begin
-        let traps =
-          Array.map (function Q_trap trap -> trap | Q_fuel | Q_raised _ -> assert false) quanta
-        in
-        (* Faults and halts are alarm states. *)
-        let alarm = ref None in
-        Array.iteri
-          (fun i trap ->
-            if !alarm = None then begin
-              match trap with
-              | Cpu.Fault_trap fault ->
-                alarm := Some (Alarm.Variant_fault { variant = i; fault })
-              | Cpu.Halt_trap -> alarm := Some (Alarm.Variant_halted { variant = i })
-              | Cpu.Syscall_trap -> ()
-            end)
-          traps;
-        match !alarm with
-        | Some reason -> alarmed t reason
-        | None -> (
-          Metrics.incr t.rendezvous_c;
-          (* Synchronized signal delivery: every variant is parked at an
-             equivalent rendezvous point (trapped, pc already past the
-             syscall instruction, trap context preserved by the
-             synchronous handler run), so handlers execute in lockstep
-             and the rendezvous then proceeds normally. *)
-          let delivery =
-            match t.signal with
-            | Some ({ mode = At_rendezvous; _ } as s) -> (
-              try
-                Array.iteri
-                  (fun i _ ->
-                    if not s.delivered.(i) then begin
-                      deliver_signal t i ~handler:s.handler;
-                      s.delivered.(i) <- true;
-                      Metrics.incr t.signals_delivered_c
-                    end)
-                  t.variants;
-                clear_if_fully_delivered t;
-                Ok ()
-              with Alarm_exn reason -> Error reason)
-            | Some _ | None -> Ok ()
-          in
-          match delivery with
-          | Error reason -> alarmed t reason
-          | Ok () ->
-          let raws = Array.map (fun v -> Sysabi.of_cpu v.Image.cpu) t.variants in
-          let numbers = Array.map (fun (r : Sysabi.raw) -> r.Sysabi.number) raws in
-          Metrics.incr t.checks_performed;
-          if not (all_equal numbers) then begin
-            Metrics.incr t.checks_failed;
-            alarmed t (Alarm.Syscall_mismatch { numbers })
-          end
+      let view =
+        Array.map (function Some a -> a | None -> assert false) t.arrivals
+      in
+      for i = 0 to n - 1 do
+        match t.arrivals.(i) with
+        | Some A_syscall -> ()
+        | Some _ | None -> t.arrivals.(i) <- None
+      done;
+      (* Settle every complete deferred position first: checks the
+         variants already ran past happen before this round's failure
+         is reported, exactly as lockstep execution would have ordered
+         them. *)
+      match flush_prefix t with
+      | Error reason -> finish (alarmed t reason)
+      | Ok () -> (
+        (* Deterministic failure order: the lowest variant index wins,
+           regardless of which domain finished first. *)
+        let first_raised = ref None in
+        Array.iter
+          (fun a ->
+            match (a, !first_raised) with
+            | (A_raised (e, bt), None) -> first_raised := Some (e, bt)
+            | _ -> ())
+          view;
+        match !first_raised with
+        | Some (Alarm_exn reason, _) -> finish (alarmed t reason)
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None ->
+          if Array.exists (function A_fuel -> true | _ -> false) view then
+            finish Out_of_fuel
           else begin
-            let now = instructions_retired t in
-            match dispatch t ~now_instr:now raws with
-            | None -> loop now
-            | Some outcome -> outcome
-            | exception Alarm_exn reason -> alarmed t reason
-            | exception Marshal_fault { variant; fault } ->
-              alarmed t (Alarm.Variant_fault { variant; fault })
+            (* Faults and halts are alarm states. *)
+            let alarm = ref None in
+            Array.iteri
+              (fun i a ->
+                if !alarm = None then begin
+                  match a with
+                  | A_fault fault ->
+                    alarm := Some (Alarm.Variant_fault { variant = i; fault })
+                  | A_halt -> alarm := Some (Alarm.Variant_halted { variant = i })
+                  | A_syscall | A_fuel | A_raised _ -> ()
+                end)
+              view;
+            match !alarm with
+            | Some reason -> finish (alarmed t reason)
+            | None ->
+              (* Every variant is parked at a syscall. *)
+              if Array.exists (fun q -> not (Queue.is_empty q)) t.deferred then begin
+                (* Hybrid position: some variants recorded their next
+                   call, the rest are parked live at theirs (the flush
+                   drained every all-recorded position, so at least one
+                   queue is empty). The per-variant syscall numbers come
+                   from the record fronts or the live trap state. *)
+                let numbers =
+                  Array.mapi
+                    (fun i q ->
+                      match Queue.peek_opt q with
+                      | Some rc -> rc.rc_number
+                      | None -> (Sysabi.of_cpu t.variants.(i).Image.cpu).Sysabi.number)
+                    t.deferred
+                in
+                if all_equal numbers then begin
+                  (* Necessarily a relaxed number (records only hold
+                     those): execute the live variants' calls on the
+                     coordinator, completing the position, and flush. *)
+                  Array.iteri
+                    (fun i q ->
+                      if Queue.is_empty q then begin
+                        Queue.add (relaxed_call t i ~cred ~trace_args numbers.(0)) q;
+                        t.arrivals.(i) <- None
+                      end)
+                    t.deferred;
+                  match flush_prefix t with
+                  | Error reason -> finish (alarmed t reason)
+                  | Ok () -> loop ()
+                end
+                else begin
+                  (* The variants disagree on what their next call even
+                     is: the same syscall-number check a full rendezvous
+                     performs, with the same metric effects. *)
+                  Metrics.incr t.rendezvous_c;
+                  Metrics.incr t.checks_performed;
+                  Metrics.incr t.checks_failed;
+                  finish (alarmed t (Alarm.Syscall_mismatch { numbers }))
+                end
+              end
+              else begin
+                (* Full rendezvous: every queue is flushed and every
+                   variant is parked live at its next sensitive call. *)
+                flush_boundary t;
+                Metrics.incr t.rendezvous_c;
+                (* Synchronized signal delivery: every variant is parked
+                   at an equivalent rendezvous point (trapped, pc
+                   already past the syscall instruction, trap context
+                   preserved by the synchronous handler run), so
+                   handlers execute in lockstep and the rendezvous then
+                   proceeds normally. *)
+                let delivery =
+                  match t.signal with
+                  | Some ({ mode = At_rendezvous; _ } as s) -> (
+                    try
+                      Array.iteri
+                        (fun i _ ->
+                          if not s.delivered.(i) then begin
+                            deliver_signal t i ~handler:s.handler;
+                            s.delivered.(i) <- true;
+                            Metrics.incr t.signals_delivered_c
+                          end)
+                        t.variants;
+                      clear_if_fully_delivered t;
+                      Ok ()
+                    with Alarm_exn reason -> Error reason)
+                  | Some _ | None -> Ok ()
+                in
+                match delivery with
+                | Error reason -> finish (alarmed t reason)
+                | Ok () ->
+                  let raws = Array.map (fun v -> Sysabi.of_cpu v.Image.cpu) t.variants in
+                  let numbers = Array.map (fun (r : Sysabi.raw) -> r.Sysabi.number) raws in
+                  Metrics.incr t.checks_performed;
+                  if not (all_equal numbers) then begin
+                    Metrics.incr t.checks_failed;
+                    finish (alarmed t (Alarm.Syscall_mismatch { numbers }))
+                  end
+                  else begin
+                    match dispatch t ~now_instr:(instructions_retired t) raws with
+                    | None ->
+                      Array.fill t.arrivals 0 n None;
+                      loop ()
+                    | Some outcome ->
+                      Array.fill t.arrivals 0 n None;
+                      finish outcome
+                    | exception Alarm_exn reason -> finish (alarmed t reason)
+                    | exception Marshal_fault { variant; fault } ->
+                      finish (alarmed t (Alarm.Variant_fault { variant; fault }))
+                  end
+              end
           end)
-      end
     end
   in
-  loop (instructions_retired t)
+  loop ()
 
 (* ------------------------------------------------------------------ *)
 (* Checkpointing                                                       *)
@@ -797,6 +1297,16 @@ let restore t snap =
   (* A pending signal references pre-rollback execution baselines; it
      cannot survive the rollback. *)
   t.signal <- None;
+  (* The relaxed-engine state references execution the rollback just
+     erased: drain the deferred queues, clear every parked arrival and
+     reset the batch accumulator so the restored monitor re-runs from
+     the checkpoint with no residue. (Supervisor checkpoints are taken
+     at entry and at [Blocked_on_accept] — both full-rendezvous states
+     where the queues are empty and no arrival is parked — so nothing
+     checkable is lost.) *)
+  Array.iter Queue.clear t.deferred;
+  Array.fill t.arrivals 0 (Array.length t.arrivals) None;
+  t.flush_batch <- 0;
   (* The retired-instruction totals just jumped backwards with the CPU
      restore; re-anchor the latency baseline so the next rendezvous
      does not observe a negative interval. *)

@@ -37,7 +37,6 @@ type t
 val create :
   ?metrics:Nv_util.Metrics.t ->
   ?parallel:bool ->
-  ?pool:Nv_util.Dompool.t ->
   ?segment_size:int ->
   ?stack_size:int ->
   kernel:Nv_os.Kernel.t ->
@@ -53,18 +52,20 @@ val create :
     [metrics] is the registry the monitor reports into; by default it
     shares the kernel's, so one registry covers the whole system.
 
-    [parallel] selects domain-parallel variant execution: between
-    rendezvous points each variant's quantum runs on its own domain
-    from [pool] (default: {!Nv_util.Dompool.global}). Parallel mode is
-    bit-deterministic — identical outcomes, alarms, final
-    registers/memory, and metric values as sequential mode (enforced
-    by [test/test_parallel.ml]). Defaults to the [NV_PARALLEL]
-    environment variable ({!Nv_util.Dompool.env_default}). *)
+    [parallel] selects domain-parallel variant execution: for the
+    duration of each {!run} call every variant is pinned to its own
+    long-lived domain, communicating with the coordinator over bounded
+    lock-free SPSC rings ({!Nv_util.Spsc}) — no pool handoff or join
+    per rendezvous. Parallel mode is bit-deterministic — identical
+    outcomes, alarms, final registers/memory, and metric values as
+    sequential mode (enforced by [test/test_parallel.ml]). Defaults to
+    the [NV_PARALLEL] environment variable
+    ({!Nv_util.Dompool.env_default}). *)
 
 val kernel : t -> Nv_os.Kernel.t
 
 val parallel : t -> bool
-(** Whether this monitor runs variant quanta on a domain pool. *)
+(** Whether {!run} pins each variant to its own domain. *)
 
 (** Size of the per-syscall-number metric-handle fast path; every
     [Nv_os.Syscall] number must stay below this. *)
@@ -77,9 +78,22 @@ val loaded : t -> int -> Nv_vm.Image.loaded
     builders to resolve symbol addresses). *)
 
 val run : ?fuel:int -> t -> outcome
-(** Execute in lockstep until exit, alarm, accept-block, or the fuel
-    budget (total guest instructions across all variants, default 50
-    million) is exhausted. Resumable after [Blocked_on_accept]. *)
+(** Execute until exit, alarm, accept-block, or the fuel budget (total
+    guest instructions across all variants, default 50 million) is
+    exhausted. Resumable after [Blocked_on_accept].
+
+    Execution uses relaxed monitoring (in both sequential and parallel
+    mode, so their behaviour stays identical): {e sensitive} syscalls
+    ({!Nv_os.Syscall.sensitivity}) are full rendezvous points — every
+    variant arrives, canonical arguments are compared, and the
+    coordinator performs the kernel call once as the leader,
+    replicating results — while {e relaxed} calls (register-only
+    credential reads and the Table 2 detection calls) are executed
+    locally by each variant, which posts a canonicalized record and
+    continues without waiting. The coordinator cross-checks the
+    accumulated records at the next rendezvous, raising the same alarm
+    classes with identical payloads, metric counters and trace events
+    as eager per-call rendezvous would have. *)
 
 val instructions_retired : t -> int
 (** Total instructions across all variants — the redundant-computation
@@ -95,7 +109,11 @@ val metrics : t -> Nv_util.Metrics.t
     [monitor.checks.failed], [monitor.alarms.<label>],
     [monitor.latency_instr.<name>] (histogram of retired instructions
     between rendezvous), [monitor.input_bytes_replicated],
-    [monitor.output_writes_checked], [monitor.signals_delivered]. *)
+    [monitor.output_writes_checked], [monitor.signals_delivered],
+    [monitor.relaxed_checks] (positions cross-checked from deferred
+    records rather than an eager rendezvous) and
+    [monitor.deferred_batch_size] (histogram of how many deferred
+    checks settled per flush boundary). *)
 
 type stats = {
   st_rendezvous : int;
@@ -111,6 +129,9 @@ type stats = {
   st_output_writes_checked : int;
       (** shared writes whose bytes were compared across variants *)
   st_signals_delivered : int;
+  st_relaxed_checks : int;
+      (** rendezvous positions settled from deferred relaxed-call
+          records instead of an eager stop-the-world rendezvous *)
 }
 
 val stats : t -> stats

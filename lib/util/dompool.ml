@@ -2,9 +2,14 @@
    the stop flag and every promise state; [has_task] wakes idle
    workers, [progress] is broadcast on every promise completion so
    awaiting callers re-check their promise (and help with whatever is
-   queued behind it). *)
+   queued behind it).
 
-type task = Task : (unit -> unit) -> task
+   A task carries a [drop] alongside its [run]: [shutdown] drains the
+   queue and drops every task that never started, settling its promise
+   as [Dropped] so an awaiting caller raises instead of blocking on a
+   promise that no domain will ever complete. *)
+
+type task = Task : { run : unit -> unit; drop : unit -> unit } -> task
 
 type t = {
   mutex : Mutex.t;
@@ -20,6 +25,7 @@ type 'a state =
   | Pending
   | Done of 'a
   | Raised of exn * Printexc.raw_backtrace
+  | Dropped  (* never started: its pool was shut down first *)
 
 type 'a promise = { pool : t; mutable state : 'a state }
 
@@ -41,7 +47,7 @@ let worker pool =
     Mutex.unlock pool.mutex;
     match task with
     | None -> ()
-    | Some (Task run) ->
+    | Some (Task { run; _ }) ->
       run ();
       loop ()
   in
@@ -63,10 +69,18 @@ let create ~size =
   pool.domains <- List.init size (fun _ -> Domain.spawn (fun () -> worker pool));
   pool
 
+let dropped_message = "Dompool.await: task dropped by shutdown"
+
 let shutdown pool =
   Mutex.lock pool.mutex;
   pool.stop <- true;
+  (* Settle every never-started task in the same critical section that
+     sets [stop]: once any caller observes the pool as stopped, every
+     queued promise is already [Dropped]. *)
+  Queue.iter (fun (Task { drop; _ }) -> drop ()) pool.tasks;
+  Queue.clear pool.tasks;
   Condition.broadcast pool.has_task;
+  Condition.broadcast pool.progress;
   Mutex.unlock pool.mutex;
   List.iter Domain.join pool.domains;
   pool.domains <- []
@@ -85,12 +99,13 @@ let submit pool f =
     Condition.broadcast pool.progress;
     Mutex.unlock pool.mutex
   in
+  let drop () = p.state <- Dropped in
   Mutex.lock pool.mutex;
   if pool.stop then begin
     Mutex.unlock pool.mutex;
     invalid_arg "Dompool.submit: pool is shut down"
   end;
-  Queue.add (Task run) pool.tasks;
+  Queue.add (Task { run; drop }) pool.tasks;
   Condition.signal pool.has_task;
   Mutex.unlock pool.mutex;
   p
@@ -110,9 +125,12 @@ let await_result p =
     | Raised (e, bt) ->
       Mutex.unlock pool.mutex;
       Error (e, bt)
+    | Dropped ->
+      Mutex.unlock pool.mutex;
+      Error (Invalid_argument dropped_message, Printexc.get_callstack 0)
     | Pending -> (
       match Queue.take_opt pool.tasks with
-      | Some (Task run) ->
+      | Some (Task { run; _ }) ->
         Mutex.unlock pool.mutex;
         run ();
         loop ()

@@ -28,8 +28,10 @@ val size : t -> int
 
 val shutdown : t -> unit
 (** Stop the workers and join their domains. Queued tasks that have
-    not started are dropped; their promises never complete. Submitting
-    to a shut-down pool raises [Invalid_argument]. *)
+    not started are dropped; {!await} on their promises raises
+    [Invalid_argument "Dompool.await: task dropped by shutdown"]
+    instead of blocking forever. Submitting to a shut-down pool raises
+    [Invalid_argument]. *)
 
 val global : unit -> t
 (** The shared process-wide pool, created on first use with
@@ -47,7 +49,9 @@ val submit : t -> (unit -> 'a) -> 'a promise
 
 val await : 'a promise -> 'a
 (** Wait for the task to finish, helping with queued work meanwhile.
-    Re-raises the task's exception (with its backtrace) if it failed. *)
+    Re-raises the task's exception (with its backtrace) if it failed;
+    raises [Invalid_argument] if the task was dropped by {!shutdown}
+    before it started. *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array pool f xs] runs [f xs.(i)] for every [i] on the pool and

@@ -1,0 +1,61 @@
+(* Classic SPSC ring over a power-of-two slot array: [head] is the
+   consumer's next position, [tail] the producer's, both monotonically
+   increasing. The producer publishes a slot with the [tail] store; the
+   consumer releases one with the [head] store. OCaml atomics are
+   sequentially consistent, so the plain slot write/read on either side
+   is ordered by the atomic counter it pairs with (write slot, then
+   store tail / load tail, then read slot) — no fences needed.
+
+   [head_cache]/[tail_cache] are each touched by exactly one domain
+   (producer caches the consumer's index and vice versa), so the
+   mutable fields race with nothing. *)
+
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  head : int Atomic.t;  (* next position to pop; consumer-owned *)
+  tail : int Atomic.t;  (* next position to fill; producer-owned *)
+  mutable head_cache : int;  (* producer's last-seen head *)
+  mutable tail_cache : int;  (* consumer's last-seen tail *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be >= 1";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    slots = Array.make !cap None;
+    mask = !cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    head_cache = 0;
+    tail_cache = 0;
+  }
+
+let capacity t = t.mask + 1
+
+let try_push t v =
+  let tail = Atomic.get t.tail in
+  if tail - t.head_cache > t.mask then t.head_cache <- Atomic.get t.head;
+  if tail - t.head_cache > t.mask then false
+  else begin
+    t.slots.(tail land t.mask) <- Some v;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  if head >= t.tail_cache then t.tail_cache <- Atomic.get t.tail;
+  if head >= t.tail_cache then None
+  else begin
+    let i = head land t.mask in
+    let v = t.slots.(i) in
+    t.slots.(i) <- None;
+    Atomic.set t.head (head + 1);
+    v
+  end
+
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)

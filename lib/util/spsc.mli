@@ -1,0 +1,38 @@
+(** Bounded lock-free single-producer single-consumer ring buffer.
+
+    The cross-domain transport of the monitor's relaxed-rendezvous
+    engine: each pinned variant domain owns the producer side of one
+    ring (syscall records and arrivals flowing to the coordinator) and
+    the consumer side of another (release commands flowing back). The
+    hot path is wait-free — one [Atomic] load, one plain array write
+    and one [Atomic] store per operation, with the opposite index
+    cached so an uncontended stream touches the shared counters only
+    when the cached view runs out. There is no mutex anywhere in this
+    module; blocking (spin-then-park) is layered on top by the caller.
+
+    Positions are monotonically increasing 63-bit ints masked into a
+    power-of-two slot array, so indices never wrap in practice.
+
+    Safety: exactly one domain may push and exactly one domain may pop.
+    Concurrent pushes (or pops) from two domains are undefined. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] makes a ring holding at least [capacity]
+    elements (rounded up to a power of two). [capacity >= 1] or
+    [Invalid_argument]. *)
+
+val capacity : 'a t -> int
+(** The actual (rounded) capacity. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side: enqueue, or return [false] when full. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer side: dequeue the oldest element, or [None] when empty.
+    The slot is cleared so the ring holds no stale references. *)
+
+val length : 'a t -> int
+(** Elements currently queued. Safe from either side (two atomic
+    loads); exact for the calling side, conservative for the other. *)

@@ -12,9 +12,14 @@
 module Alarm = Nv_core.Alarm
 module Monitor = Nv_core.Monitor
 module Nsystem = Nv_core.Nsystem
+module Supervisor = Nv_core.Supervisor
 module Variation = Nv_core.Variation
 module Deploy = Nv_httpd.Deploy
 module Http = Nv_httpd.Http
+module Payloads = Nv_attacks.Payloads
+module Arrivals = Nv_sim.Arrivals
+module Measure = Nv_workload.Measure
+module Openload = Nv_workload.Openload
 module Cpu = Nv_vm.Cpu
 module Memory = Nv_vm.Memory
 module Image = Nv_vm.Image
@@ -23,6 +28,7 @@ module Word = Nv_vm.Word
 module Dompool = Nv_util.Dompool
 module Metrics = Nv_util.Metrics
 module Prng = Nv_util.Prng
+module Spsc = Nv_util.Spsc
 
 (* ------------------------------------------------------------------ *)
 (* Fingerprints                                                        *)
@@ -332,6 +338,98 @@ let test_four_variants () =
     ~drive:(fun sys -> outcome_str (Nsystem.run sys))
 
 (* ------------------------------------------------------------------ *)
+(* Relaxed monitoring                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A long stretch of relaxed calls (getuid/geteuid/cc_eq never park the
+   variant) bracketed by sensitive rendezvous (seteuid, exit): the
+   deferred-record queues fill up and are cross-checked at the flush
+   boundary. *)
+let relaxed_stretch_program =
+  {|int main(void) {
+      uid_t me = getuid();
+      int i = 0;
+      while (i < 40) {
+        uid_t e = geteuid();
+        if (cc_eq(me, e) == 0) { return 8; }
+        i++;
+      }
+      if (seteuid(me) != 0) { return 9; }
+      return 0;
+    }|}
+
+let test_relaxed_metrics () =
+  (* The relaxed engine must surface its own observability: every
+     relaxed position settled from deferred records counts into
+     [monitor.relaxed_checks], and each flush boundary records its
+     batch into [monitor.deferred_batch_size] — in both modes, with
+     identical values (the fingerprint comparison covers equality; here
+     we pin the values are actually nonzero). *)
+  assert_equivalent ~what:"relaxed metrics"
+    ~build:(build_minic relaxed_stretch_program)
+    ~drive:(fun sys ->
+      let outcome = outcome_str (Nsystem.run sys) in
+      let stats = Monitor.stats (Nsystem.monitor sys) in
+      (* getuid + 40*(geteuid, cc_eq) = 81 relaxed positions. *)
+      Alcotest.(check int) "relaxed_checks counts every relaxed call" 81
+        stats.Monitor.st_relaxed_checks;
+      Alcotest.(check (option int)) "monitor.relaxed_checks registered" (Some 81)
+        (Metrics.find_counter (Nsystem.metrics sys) "monitor.relaxed_checks");
+      Alcotest.(check bool) "deferred_batch_size histogram present" true
+        (match
+           Metrics.Json.member "histograms"
+             (Metrics.to_json_value (Nsystem.metrics sys))
+         with
+        | Some h -> Metrics.Json.member "monitor.deferred_batch_size" h <> None
+        | None -> false);
+      Printf.sprintf "%s relaxed=%d" outcome stats.Monitor.st_relaxed_checks)
+
+let test_relaxed_divergence_alarms () =
+  (* A relaxed call whose records disagree must still alarm with the
+     same class and payload as an eager rendezvous — the deferred
+     cross-check settles it later, never weaker. Comparing the raw
+     (reexpressed, variant-diverse) UID against a constant makes the
+     cond_chk booleans disagree: variant 0 is the identity
+     reexpression (me = 0, root) while variant 1 sees me XOR'd. *)
+  let source =
+    {|int main(void) {
+        uid_t me = getuid();
+        if (cond_chk(me == 0)) { return 1; }
+        return 0;
+      }|}
+  in
+  assert_equivalent ~what:"relaxed divergence"
+    ~build:(build_minic source)
+    ~drive:(fun sys ->
+      match Nsystem.run sys with
+      | Monitor.Alarm (Alarm.Cond_mismatch { values }) ->
+        Printf.sprintf "cond-mismatch %s"
+          (String.concat ","
+             (Array.to_list (Array.map string_of_int values)))
+      | outcome -> Alcotest.failf "expected Cond_mismatch, got %s" (outcome_str outcome))
+
+let test_rollback_resets_relaxed_state () =
+  (* Fuel exhaustion mid-stretch leaves deferred records queued (and,
+     in parallel mode, variants parked in their rings); restore must
+     drain all of it so the replay after rollback is bit-identical to a
+     fresh run in either mode. *)
+  assert_equivalent ~what:"rollback mid-relaxed-stretch"
+    ~build:(build_minic relaxed_stretch_program)
+    ~drive:(fun sys ->
+      let monitor = Nsystem.monitor sys in
+      let snap = Monitor.snapshot monitor in
+      let b = Buffer.create 128 in
+      (* Step in slices small enough to stop inside the relaxed loop. *)
+      for _ = 1 to 3 do
+        Buffer.add_string b (outcome_str (Nsystem.run ~fuel:97 sys));
+        Buffer.add_char b ';'
+      done;
+      Buffer.add_string b
+        (Printf.sprintf "dropped=%d;" (Monitor.restore monitor snap));
+      Buffer.add_string b (outcome_str (Nsystem.run sys));
+      Buffer.contents b)
+
+(* ------------------------------------------------------------------ *)
 (* The case-study server                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -350,6 +448,130 @@ let test_httpd_serving () =
           | Nsystem.Stopped outcome -> Buffer.add_string b (outcome_str outcome))
         [ "/index.html"; "/"; "/missing.html" ];
       Buffer.contents b)
+
+let test_supervisor_recovery_under_parallel () =
+  (* The recovery supervisor rolls the monitor back mid-service; in
+     parallel mode this lands while the pinned engine is live, so the
+     restore path must also drain/reset the transport. The full
+     recovery matrix lives in test_supervisor.ml; this is the engine's
+     own smoke: attack absorbed, self-healed, identically in both
+     modes. *)
+  assert_equivalent ~what:"supervisor recovery"
+    ~build:(fun ~parallel ->
+      match
+        Deploy.build ~parallel ~recover:Supervisor.default_config
+          Deploy.Two_variant_uid
+      with
+      | Ok sys -> sys
+      | Error e -> Alcotest.fail e)
+    ~drive:(fun sys ->
+      let b = Buffer.create 4096 in
+      let serve req =
+        match Nsystem.serve sys req with
+        | Nsystem.Served response -> "served:" ^ String.escaped response
+        | Nsystem.Stopped outcome -> "stopped:" ^ outcome_str outcome
+      in
+      let sup = Option.get (Nsystem.supervisor sys) in
+      let baseline = serve (Http.get "/") in
+      Buffer.add_string b baseline;
+      Buffer.add_string b (serve (Http.get (Payloads.null_overflow_url ())));
+      Alcotest.(check int) "attack absorbed" 1 (Supervisor.recoveries sup);
+      let healed = serve (Http.get "/") in
+      Alcotest.(check string) "self-healed to baseline" baseline healed;
+      Buffer.add_string b healed;
+      Buffer.add_string b
+        (Printf.sprintf "recoveries=%d" (Supervisor.recoveries sup));
+      Buffer.contents b)
+
+let test_openload_seq_par_identical () =
+  (* The fleet tier profiles a replica (Measure drives the deployed
+     system through the monitor) and extrapolates an open-loop SLO
+     report: the report must be bit-deterministic whether that replica
+     stepped its variants sequentially or on the pinned engine. *)
+  let spec =
+    {
+      Openload.replicas = 2;
+      arrival = Arrivals.Poisson { rate = 150.0 };
+      duration_s = 1.0;
+      users = 2_000;
+      attacks_per_10k = 5;
+    }
+  in
+  let run ~parallel =
+    match Deploy.build ~parallel Deploy.Two_variant_uid with
+    | Error e -> Alcotest.failf "deploy failed: %s" e
+    | Ok sys -> (
+      match Measure.profile ~requests:4 ~seed:11 sys with
+      | Error e -> Alcotest.failf "profile failed: %s" e
+      | Ok samples ->
+        let samples = Array.sub samples 1 (Array.length samples - 1) in
+        Openload.run ~seed:11 ~variants:2 ~samples spec)
+  in
+  let seq = run ~parallel:false in
+  let par = run ~parallel:true in
+  Alcotest.(check bool) "identical SLO reports" true (seq = par)
+
+(* ------------------------------------------------------------------ *)
+(* The transport: SPSC rings                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_spsc_basics () =
+  Alcotest.(check bool) "zero capacity rejected" true
+    (try
+       ignore (Spsc.create ~capacity:0 : int Spsc.t);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "capacity of one" 1 (Spsc.capacity (Spsc.create ~capacity:1));
+  let r = Spsc.create ~capacity:5 in
+  Alcotest.(check int) "capacity rounded to a power of two" 8 (Spsc.capacity r);
+  Alcotest.(check (option int)) "empty pop" None (Spsc.try_pop r);
+  Alcotest.(check int) "empty length" 0 (Spsc.length r);
+  for i = 0 to 7 do
+    Alcotest.(check bool) "push while free" true (Spsc.try_push r i)
+  done;
+  Alcotest.(check bool) "push on full rejected" false (Spsc.try_push r 99);
+  Alcotest.(check int) "full length" 8 (Spsc.length r);
+  for i = 0 to 7 do
+    Alcotest.(check (option int)) "FIFO order" (Some i) (Spsc.try_pop r)
+  done;
+  Alcotest.(check (option int)) "drained" None (Spsc.try_pop r);
+  (* Interleaved traffic far past the capacity: positions are monotone
+     ints masked into the slot array, so wrap-around must be seamless. *)
+  for i = 0 to 999 do
+    Alcotest.(check bool) "wrap push" true (Spsc.try_push r i);
+    if i mod 3 = 0 then
+      Alcotest.(check bool) "wrap second push" true (Spsc.try_push r (-i));
+    Alcotest.(check bool) "wrap pop nonempty" true (Spsc.try_pop r <> None);
+    if i mod 3 = 0 then
+      Alcotest.(check bool) "wrap second pop" true (Spsc.try_pop r <> None)
+  done;
+  Alcotest.(check (option int)) "balanced" None (Spsc.try_pop r)
+
+let test_spsc_cross_domain () =
+  (* One producer domain, the test domain consuming: every element
+     arrives exactly once, in order, through a ring much smaller than
+     the stream. *)
+  let ring = Spsc.create ~capacity:8 in
+  let n = 50_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          while not (Spsc.try_push ring i) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let next = ref 0 in
+  while !next < n do
+    match Spsc.try_pop ring with
+    | Some v ->
+      if v <> !next then
+        Alcotest.failf "out of order: got %d, expected %d" v !next;
+      incr next
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  Alcotest.(check (option int)) "stream fully consumed" None (Spsc.try_pop ring)
 
 (* ------------------------------------------------------------------ *)
 (* The pool itself                                                     *)
@@ -398,6 +620,46 @@ let test_dompool_nested () =
   Alcotest.(check (array int)) "nested sums" [| 60; 120; 180 |] result;
   Dompool.shutdown pool
 
+let test_dompool_dropped_await () =
+  (* Regression: awaiting a task that shutdown drained from the queue
+     used to block forever. Recipe: a single worker is wedged in task
+     [a]; [b] sits queued; shutdown (from another domain) drains the
+     queue and drops [b] inside its stop critical section, so once
+     submit is observed to reject, [b]'s drop has happened and await
+     must raise rather than hang. *)
+  let pool = Dompool.create ~size:1 in
+  let started = Atomic.make false in
+  let gate = Atomic.make false in
+  let a =
+    Dompool.submit pool (fun () ->
+        Atomic.set started true;
+        while not (Atomic.get gate) do
+          Domain.cpu_relax ()
+        done)
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  let b = Dompool.submit pool (fun () -> 42) in
+  (* shutdown blocks joining the wedged worker, so run it elsewhere. *)
+  let closer = Domain.spawn (fun () -> Dompool.shutdown pool) in
+  let rec wait_stopped () =
+    match Dompool.submit pool (fun () -> ()) with
+    | (_ : unit Dompool.promise) ->
+      Domain.cpu_relax ();
+      wait_stopped ()
+    | exception Invalid_argument _ -> ()
+  in
+  wait_stopped ();
+  Alcotest.check_raises "await of dropped task"
+    (Invalid_argument "Dompool.await: task dropped by shutdown") (fun () ->
+      ignore (Dompool.await b : int));
+  (* Unblock [a] so shutdown can join its worker; the in-flight task
+     itself completes normally. *)
+  Atomic.set gate true;
+  Dompool.await a;
+  Domain.join closer
+
 let test_env_default () =
   (* Not cached: the monitor's default follows the current env. *)
   let before = Dompool.env_default () in
@@ -407,11 +669,17 @@ let test_env_default () =
 let () =
   Alcotest.run "nv_parallel"
     [
+      ( "spsc",
+        [
+          Alcotest.test_case "basics" `Quick test_spsc_basics;
+          Alcotest.test_case "cross-domain stream" `Quick test_spsc_cross_domain;
+        ] );
       ( "dompool",
         [
           Alcotest.test_case "basics" `Quick test_dompool_basics;
           Alcotest.test_case "exception order" `Quick test_dompool_exception_order;
           Alcotest.test_case "nested" `Quick test_dompool_nested;
+          Alcotest.test_case "dropped by shutdown" `Quick test_dompool_dropped_await;
           Alcotest.test_case "env default" `Quick test_env_default;
         ] );
       ( "differential",
@@ -424,6 +692,13 @@ let () =
           Alcotest.test_case "divergent signal sweep" `Quick test_signal_divergent_sweep;
           Alcotest.test_case "signal delivery failure" `Quick test_signal_delivery_failure;
           Alcotest.test_case "four variants" `Quick test_four_variants;
+          Alcotest.test_case "relaxed metrics" `Quick test_relaxed_metrics;
+          Alcotest.test_case "relaxed divergence" `Quick test_relaxed_divergence_alarms;
+          Alcotest.test_case "rollback mid-relaxed-stretch" `Quick
+            test_rollback_resets_relaxed_state;
           Alcotest.test_case "httpd serving" `Quick test_httpd_serving;
+          Alcotest.test_case "supervisor recovery" `Quick
+            test_supervisor_recovery_under_parallel;
+          Alcotest.test_case "openload seq==par" `Quick test_openload_seq_par_identical;
         ] );
     ]
