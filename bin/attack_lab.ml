@@ -44,7 +44,18 @@ let recover_arg =
            detected attacks roll back and the server keeps serving, so cells \
            report $(b,RECOVERED) instead of $(b,DETECTED).")
 
-let run attack config list verbose parallel recover =
+let forensics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "forensics" ] ~docv:"FILE"
+        ~doc:
+          "Run one (attack, config) cell with the flight recorder enabled and \
+           write its Chrome trace-event JSON — with the alarm post-mortem \
+           bundle under a top-level $(b,forensics) key — to $(docv). \
+           Requires $(b,--attack) and $(b,--config) to pin the cell.")
+
+let run attack config list verbose parallel recover forensics =
   if list then begin
     List.iter
       (fun a ->
@@ -65,6 +76,28 @@ let run attack config list verbose parallel recover =
   in
   let configs = match config with None -> Nv_httpd.Deploy.all | Some c -> [ c ] in
   let recover = if recover then Some Nv_core.Supervisor.default_config else None in
+  (match forensics with
+  | None -> ()
+  | Some path -> (
+    match (attacks, configs) with
+    | [ a ], [ c ] -> (
+      match Nv_attacks.Campaign.run_attack_traced ~parallel ?recover a c with
+      | Error message ->
+        Printf.eprintf "attack_lab: --forensics cell failed to build: %s\n" message;
+        exit 2
+      | Ok traced ->
+        let oc = open_out path in
+        output_string oc
+          (Nv_util.Metrics.Json.to_string traced.Nv_attacks.Campaign.trace_json);
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "%s / %s: %a (forensics written to %s)@."
+          a.Nv_attacks.Campaign.name (Nv_httpd.Deploy.name c)
+          Nv_attacks.Campaign.pp_verdict traced.Nv_attacks.Campaign.verdict path;
+        exit 0)
+    | _ ->
+      Printf.eprintf "attack_lab: --forensics needs --attack and --config to pin one cell\n";
+      exit 2));
   let matrix = Nv_attacks.Campaign.run_matrix ~parallel ?recover ~attacks ~configs () in
   print_string (Nv_attacks.Campaign.render_matrix matrix);
   if verbose then
@@ -96,6 +129,6 @@ let cmd =
   Cmd.v (Cmd.info "attack_lab" ~doc)
     Term.(
       const run $ attack_arg $ config_arg $ list_arg $ verbose_arg $ parallel_arg
-      $ recover_arg)
+      $ recover_arg $ forensics_arg)
 
 let () = exit (Cmd.eval cmd)

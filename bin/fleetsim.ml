@@ -88,8 +88,43 @@ let metrics_arg =
     & info [ "metrics" ] ~docv:"FORMAT"
         ~doc:"Dump the fleet engine's metrics registry to stderr before exiting.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable the fleet flight recorder and write the session to $(docv) \
+           as Chrome trace-event JSON (one process row per replica plus the \
+           balancer, timestamped in simulated microseconds), loadable in \
+           Perfetto or chrome://tracing.")
+
+let log_level_arg =
+  let levels =
+    [
+      ("quiet", None);
+      ("error", Some Logs.Error);
+      ("warning", Some Logs.Warning);
+      ("info", Some Logs.Info);
+      ("debug", Some Logs.Debug);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum levels) (Some Logs.Warning)
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Verbosity of the structured log sources (nv.fleet replica health \
+           and fail-stops, nv.engine event exceptions, nv.supervisor \
+           rollbacks): $(b,quiet), $(b,error), $(b,warning), $(b,info) or \
+           $(b,debug). $(b,warning) (the default) reports replica fail-stops; \
+           $(b,info) adds recovery detail.")
+
 let run config replicas rate arrival burst_mean amplitude duration users guest_users
-    attacks seed parallel metrics =
+    attacks seed parallel metrics trace_out log_level =
+  (match log_level with
+  | None -> ()
+  | Some level -> Nv_util.Logsrc.setup ~level ());
   let arrival =
     match arrival with
     | `Poisson -> Nv_sim.Arrivals.Poisson { rate }
@@ -124,9 +159,25 @@ let run config replicas rate arrival burst_mean amplitude duration users guest_u
       in
       let registry = Nv_util.Metrics.create () in
       let entries = Nv_workload.Openload.population ~seed ~users () in
-      let result =
-        Nv_workload.Openload.run ~seed ~metrics:registry ~entries ~variants ~samples spec
+      let trace =
+        Option.map
+          (fun _ ->
+            let session = Nv_util.Trace.create () in
+            Nv_util.Trace.set_enabled session true;
+            session)
+          trace_out
       in
+      let result =
+        Nv_workload.Openload.run ~seed ~metrics:registry ?trace ~entries ~variants
+          ~samples spec
+      in
+      (match (trace_out, trace) with
+      | Some path, Some session ->
+        let oc = open_out path in
+        output_string oc (Nv_util.Metrics.Json.to_string (Nv_util.Trace.to_chrome session));
+        output_char oc '\n';
+        close_out oc
+      | _ -> ());
       let _vfs, sizes = Nv_workload.Openload.passwd_world ~entries ~variants in
       let r = result.Nv_workload.Openload.fleet in
       Format.printf "fleet: %d replicas, %s arrivals at %.0f req/s, %.1f s horizon (%s)@."
@@ -167,6 +218,6 @@ let cmd =
     Term.(
       const run $ config_arg $ replicas_arg $ rate_arg $ arrival_arg $ burst_mean_arg
       $ amplitude_arg $ duration_arg $ users_arg $ guest_users_arg $ attacks_arg
-      $ seed_arg $ parallel_arg $ metrics_arg)
+      $ seed_arg $ parallel_arg $ metrics_arg $ trace_out_arg $ log_level_arg)
 
 let () = exit (Cmd.eval cmd)

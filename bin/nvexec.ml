@@ -29,7 +29,26 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mc" ~doc:"mini-C source file")
 
 let trace_arg =
-  Arg.(value & flag & info [ "trace" ] ~doc:"Print every syscall rendezvous.")
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Enable the flight recorder and print the coordinator ring (every \
+           syscall rendezvous, deferred flush and alarm) when the run ends.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable the flight recorder and write the whole session (one lane \
+           per variant, plus coordinator and kernel lanes) to $(docv) as \
+           Chrome trace-event JSON, loadable in Perfetto or \
+           chrome://tracing. If the run raised an alarm, the forensics \
+           bundle (alarm class, per-variant registers, credential \
+           snapshots, ring tails) is attached under a top-level \
+           $(b,forensics) key.")
 
 let fuel_arg =
   Arg.(
@@ -92,7 +111,7 @@ let read_file path =
   close_in ic;
   s
 
-let run variation file trace fuel no_runtime mode metrics parallel recover =
+let run variation file trace trace_out fuel no_runtime mode metrics parallel recover =
   let source = read_file file in
   let source = if no_runtime then source else Nv_minic.Runtime.with_runtime source in
   match Nv_transform.Uid_transform.transform_source ~mode ~variation source with
@@ -108,11 +127,37 @@ let run variation file trace fuel no_runtime mode metrics parallel recover =
         recover
     in
     let sys = Nv_core.Nsystem.create ~parallel ?recover ~variation images in
-    if trace then
-      Nv_core.Monitor.set_tracer (Nv_core.Nsystem.monitor sys) (fun e ->
-          Format.printf "[%s] %s@."
-            (Nv_os.Syscall.name e.Nv_core.Monitor.ev_syscall)
-            e.Nv_core.Monitor.ev_note);
+    let monitor = Nv_core.Nsystem.monitor sys in
+    let session = Nv_core.Monitor.trace_session monitor in
+    if trace || trace_out <> None then Nv_util.Trace.set_enabled session true;
+    let dump_trace () =
+      if trace then
+        List.iter
+          (fun ring ->
+            if Nv_util.Trace.ring_name ring = "coordinator" then
+              List.iter
+                (fun e ->
+                  Format.printf "%a@."
+                    (Nv_util.Trace.pp_event ~syscall_name:Nv_os.Syscall.name)
+                    e)
+                (Nv_util.Trace.events ring))
+          (Nv_util.Trace.rings session);
+      match trace_out with
+      | None -> ()
+      | Some path ->
+        let extra =
+          match Nv_core.Monitor.forensics monitor with
+          | Some bundle -> [ ("forensics", bundle) ]
+          | None -> []
+        in
+        let json =
+          Nv_util.Trace.to_chrome ~syscall_name:Nv_os.Syscall.name ~extra session
+        in
+        let oc = open_out path in
+        output_string oc (Nv_util.Metrics.Json.to_string json);
+        output_char oc '\n';
+        close_out oc
+    in
     let dump_metrics () =
       (match Nv_core.Nsystem.supervisor sys with
       | Some sup when Nv_core.Supervisor.recoveries sup > 0 ->
@@ -132,20 +177,24 @@ let run variation file trace fuel no_runtime mode metrics parallel recover =
       print_string (Nv_os.Kernel.stdout_contents kernel);
       prerr_string (Nv_os.Kernel.stderr_contents kernel);
       Format.printf "[exited %d; %d instructions; %d rendezvous]@." status
-        (Nv_core.Monitor.instructions_retired (Nv_core.Nsystem.monitor sys))
-        (Nv_core.Monitor.rendezvous_count (Nv_core.Nsystem.monitor sys));
+        (Nv_core.Monitor.instructions_retired monitor)
+        (Nv_core.Monitor.rendezvous_count monitor);
+      dump_trace ();
       dump_metrics ();
       exit (if status land 0xFF = status then status else 1)
     | Nv_core.Monitor.Alarm reason ->
       Format.printf "ALARM: %a@." Nv_core.Alarm.pp reason;
+      dump_trace ();
       dump_metrics ();
       exit 3
     | Nv_core.Monitor.Blocked_on_accept ->
       print_endline "server blocked on accept with no client; stopping";
+      dump_trace ();
       dump_metrics ();
       exit 4
     | Nv_core.Monitor.Out_of_fuel ->
       print_endline "out of fuel";
+      dump_trace ();
       dump_metrics ();
       exit 5)
 
@@ -154,7 +203,7 @@ let cmd =
   Cmd.v
     (Cmd.info "nvexec" ~doc)
     Term.(
-      const run $ variation_arg $ file_arg $ trace_arg $ fuel_arg $ no_runtime_arg
-      $ mode_arg $ metrics_arg $ parallel_arg $ recover_arg)
+      const run $ variation_arg $ file_arg $ trace_arg $ trace_out_arg $ fuel_arg
+      $ no_runtime_arg $ mode_arg $ metrics_arg $ parallel_arg $ recover_arg)
 
 let () = exit (Cmd.eval cmd)

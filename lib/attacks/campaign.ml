@@ -215,27 +215,64 @@ let attacks =
 
 let find name = List.find_opt (fun a -> a.name = name) attacks
 
+(* Under a supervisor a detected attack does not halt the system: the
+   rollback absorbs it, the probe requests see a healthy server, and
+   the attack classifies as harmless. Distinguish that from a
+   genuinely effect-free attack by asking the supervisor whether it
+   had to intervene. *)
+let classify_with_supervisor sys verdict =
+  match (Nsystem.supervisor sys, verdict) with
+  | Some sup, No_effect when Nv_core.Supervisor.recoveries sup > 0 ->
+    Recovered
+      {
+        recoveries = Nv_core.Supervisor.recoveries sup;
+        last_alarm = Nv_core.Supervisor.last_alarm sup;
+      }
+  | _ -> verdict
+
 let run_attack ?parallel ?recover attack config =
   match Deploy.build ?parallel ?recover config with
   | Error _ as e -> e
   | Ok sys ->
     let verdict = attack.run sys in
-    (* Under a supervisor a detected attack does not halt the system:
-       the rollback absorbs it, the probe requests see a healthy
-       server, and the attack classifies as harmless. Distinguish that
-       from a genuinely effect-free attack by asking the supervisor
-       whether it had to intervene. *)
-    let verdict =
-      match (Nsystem.supervisor sys, verdict) with
-      | Some sup, No_effect when Nv_core.Supervisor.recoveries sup > 0 ->
-        Recovered
-          {
-            recoveries = Nv_core.Supervisor.recoveries sup;
-            last_alarm = Nv_core.Supervisor.last_alarm sup;
-          }
-      | _ -> verdict
+    Ok (classify_with_supervisor sys verdict)
+
+type traced = {
+  verdict : verdict;
+  forensics : Nv_util.Metrics.Json.value option;
+  trace_json : Nv_util.Metrics.Json.value;
+}
+
+let run_attack_traced ?parallel ?recover attack config =
+  match Deploy.build ?parallel ?recover config with
+  | Error _ as e -> e
+  | Ok sys ->
+    let monitor = Nsystem.monitor sys in
+    let session = Monitor.trace_session monitor in
+    Nv_util.Trace.set_enabled session true;
+    let verdict = classify_with_supervisor sys (attack.run sys) in
+    (* Under a supervisor the monitor's bundle survives the rollback
+       (it is captured at alarm time), so it is the latest alarm's
+       post-mortem either way; fall back to the supervisor's recovery
+       log in case a future monitor clears it on restore. *)
+    let forensics =
+      match Monitor.forensics monitor with
+      | Some _ as f -> f
+      | None -> (
+        match Nsystem.supervisor sys with
+        | None -> None
+        | Some sup -> (
+          match List.rev (Nv_core.Supervisor.recovery_log sup) with
+          | [] -> None
+          | rr :: _ -> rr.Nv_core.Supervisor.rr_forensics))
     in
-    Ok verdict
+    let extra =
+      match forensics with Some f -> [ ("forensics", f) ] | None -> []
+    in
+    let trace_json =
+      Nv_util.Trace.to_chrome ~syscall_name:Nv_os.Syscall.name ~extra session
+    in
+    Ok { verdict; forensics; trace_json }
 
 type matrix = (attack * (Deploy.config * verdict) list) list
 

@@ -66,6 +66,32 @@ val run_attack :
     dropped, server healthy afterwards) classifies as {!Recovered}
     instead of halting as {!Detected}. *)
 
+type traced = {
+  verdict : verdict;
+  forensics : Nv_util.Metrics.Json.value option;
+      (** The monitor's alarm post-mortem (alarm class, per-variant
+          registers, credential snapshots, flight-recorder ring
+          tails), when the run alarmed at least once. Under [?recover]
+          this is the latest alarm's bundle; the full per-rollback
+          history is on {!Nv_core.Supervisor.recovery_log}. *)
+  trace_json : Nv_util.Metrics.Json.value;
+      (** Chrome trace-event export of the whole run's flight-recorder
+          rings ({!Nv_util.Trace.to_chrome}), with the forensics
+          bundle attached under an ["forensics"] top-level key when
+          present. Load it in Perfetto or chrome://tracing. *)
+}
+
+val run_attack_traced :
+  ?parallel:bool ->
+  ?recover:Nv_core.Supervisor.config ->
+  attack ->
+  Nv_httpd.Deploy.config ->
+  (traced, string) result
+(** {!run_attack} with the system's flight recorder enabled for the
+    whole run: same verdict, plus the alarm forensics bundle and a
+    Perfetto-loadable trace of every ring (variants, coordinator,
+    kernel, and supervisor when [?recover] is given). *)
+
 type matrix = (attack * (Nv_httpd.Deploy.config * verdict) list) list
 
 val run_matrix :

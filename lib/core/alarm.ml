@@ -64,3 +64,77 @@ let short_label = function
   | Cond_mismatch _ -> "cond"
   | Exit_mismatch _ -> "exit"
   | Signal_delivery_failed _ -> "signal"
+
+(* Indices disagreeing with the modal value; ties between counts are
+   broken toward variant 0's value, so a two-variant mismatch
+   implicates variant 1 — with N=2 the monitor can only prove
+   disagreement, not which side is at fault, and the bundle says so by
+   listing every index that differs from the majority. *)
+let divergent_indices values =
+  let n = Array.length values in
+  if n = 0 then []
+  else begin
+    let count v = Array.fold_left (fun acc x -> if x = v then acc + 1 else acc) 0 values in
+    let modal = ref values.(0) in
+    let best = ref (count values.(0)) in
+    Array.iter
+      (fun v ->
+        let c = count v in
+        if c > !best then begin
+          modal := v;
+          best := c
+        end)
+      values;
+    List.filter (fun i -> values.(i) <> !modal) (List.init n Fun.id)
+  end
+
+let to_json reason =
+  let message = to_string reason in
+  let open Nv_util.Metrics.Json in
+  let num i = Num (float_of_int i) in
+  let nums arr = List (Array.to_list (Array.map num arr)) in
+  let hex v = Str (Printf.sprintf "0x%08X" v) in
+  let hexes arr = List (Array.to_list (Array.map hex arr)) in
+  let divergent arr = ("divergent_variants", List (List.map num (divergent_indices arr))) in
+  let syscall n = [ ("syscall", num n); ("syscall_name", Str (Nv_os.Syscall.name n)) ] in
+  let fields =
+    match reason with
+    | Variant_fault { variant; fault } ->
+        [
+          ("variant", num variant);
+          ("fault", Str (Format.asprintf "%a" Nv_vm.Cpu.pp_fault fault));
+          ("divergent_variants", List [ num variant ]);
+        ]
+    | Variant_halted { variant } ->
+        [ ("variant", num variant); ("divergent_variants", List [ num variant ]) ]
+    | Syscall_mismatch { numbers } ->
+        [
+          ("numbers", nums numbers);
+          ( "names",
+            List (Array.to_list (Array.map (fun n -> Str (Nv_os.Syscall.name n)) numbers))
+          );
+          divergent numbers;
+        ]
+    | Arg_mismatch { syscall = n; arg_index; values } ->
+        syscall n
+        @ [ ("arg_index", num arg_index); ("values", hexes values); divergent values ]
+    | String_mismatch { syscall = n; arg_index; lengths; digests } ->
+        syscall n
+        @ [
+            ("arg_index", num arg_index);
+            ("lengths", nums lengths);
+            ("digests", hexes digests);
+            divergent digests;
+          ]
+    | Output_mismatch { syscall = n; fd } -> syscall n @ [ ("fd", num fd) ]
+    | Cond_mismatch { values } -> [ ("values", nums values); divergent values ]
+    | Exit_mismatch { statuses } -> [ ("statuses", nums statuses); divergent statuses ]
+    | Signal_delivery_failed { variant; detail } ->
+        [
+          ("variant", num variant);
+          ("detail", Str detail);
+          ("divergent_variants", List [ num variant ]);
+        ]
+  in
+  Obj
+    (("class", Str (short_label reason)) :: ("message", Str message) :: fields)

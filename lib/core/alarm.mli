@@ -44,3 +44,16 @@ val to_string : reason -> string
 val short_label : reason -> string
 (** One-word class for tables: ["fault"], ["halt"], ["syscall"],
     ["arg"], ["string"], ["output"], ["cond"], ["exit"]. *)
+
+val divergent_indices : int array -> int list
+(** Indices whose value disagrees with the modal (majority) value,
+    ties broken toward index 0's value — so a two-variant mismatch
+    implicates variant 1. With N=2 the monitor can only prove
+    disagreement, not which side is at fault; the forensics bundle
+    lists every index differing from the majority. *)
+
+val to_json : reason -> Nv_util.Metrics.Json.value
+(** Structured rendering for forensics bundles: always ["class"] and
+    ["message"], plus reason-specific fields — for mismatches the
+    syscall number and name, the per-variant canonical values and a
+    ["divergent_variants"] list ({!divergent_indices}). *)

@@ -9,6 +9,7 @@ module Sysabi = Nv_os.Sysabi
 module Metrics = Nv_util.Metrics
 module Dompool = Nv_util.Dompool
 module Spsc = Nv_util.Spsc
+module Trace = Nv_util.Trace
 
 type outcome = Exited of int | Alarm of Alarm.reason | Blocked_on_accept | Out_of_fuel
 
@@ -101,6 +102,14 @@ type t = {
   calls_by_number : Metrics.counter option array;
   latency_by_number : Metrics.histogram option array;
   canon_scratch : int array;
+  (* Flight recorder: one ring per variant (owned by that variant's
+     domain while it is released, like [Image.loaded]) plus a
+     coordinator ring for rendezvous/flush/alarm events. Disabled by
+     default; every recording site is gated on one atomic load. *)
+  trace : Trace.t;
+  trace_variants : Trace.ring array;
+  trace_coord : Trace.ring;
+  mutable forensics : Metrics.Json.value option;
 }
 
 (* One slot per syscall number; numbers outside the table fall back to
@@ -129,6 +138,19 @@ let create ?metrics ?parallel ?(segment_size = 1 lsl 20)
   let metrics = match metrics with Some m -> m | None -> Kernel.metrics kernel in
   let scope = Metrics.scope metrics "monitor" in
   let checks_scope = Metrics.sub scope "checks" in
+  (* Chrome-export lanes: tid 0..n-1 = variants, n = coordinator,
+     n+1 = kernel dispatch. The kernel runs on the coordinating domain
+     only, timestamped by the total retired-instruction clock. *)
+  let trace = Trace.create () in
+  let trace_variants =
+    Array.init n (fun i ->
+        Trace.ring trace ~name:(Printf.sprintf "variant %d" i) ~pid:0 ~tid:i)
+  in
+  let trace_coord = Trace.ring trace ~name:"coordinator" ~pid:0 ~tid:n in
+  let kernel_ring = Trace.ring trace ~name:"kernel" ~pid:0 ~tid:(n + 1) in
+  Kernel.set_trace kernel ~ring:kernel_ring
+    ~clock:(fun () ->
+      Array.fold_left (fun acc v -> acc + Cpu.instructions_retired v.Image.cpu) 0 variants);
   {
     kernel;
     variation;
@@ -156,6 +178,10 @@ let create ?metrics ?parallel ?(segment_size = 1 lsl 20)
     calls_by_number = Array.make syscall_slots None;
     latency_by_number = Array.make syscall_slots None;
     canon_scratch = Array.make n 0;
+    trace;
+    trace_variants;
+    trace_coord;
+    forensics = None;
   }
 
 (* Lazy per-number resolution keeps metric registration identical to
@@ -228,6 +254,10 @@ let stats t =
 let set_tracer t f = t.tracer <- Some f
 
 let set_input_fault t f = t.input_fault <- f
+
+let trace_session t = t.trace
+
+let forensics t = t.forensics
 
 let all_equal arr = Array.for_all (fun x -> x = arr.(0)) arr
 
@@ -347,7 +377,15 @@ let deliver t per_variant_results =
 let deliver_same t result =
   Array.iter (fun v -> Sysabi.set_result v.Image.cpu result) t.variants
 
+(* Dispatch-time breadcrumbs go two ways: the legacy [set_tracer]
+   callback (raw argument images included) and, when the flight
+   recorder is on, a [Note] in the coordinator ring. Both run on the
+   coordinating domain at points where every variant is parked, so the
+   retired-total timestamp is mode-independent. *)
 let trace t ~syscall ~raws note =
+  (if Trace.enabled t.trace then
+     Trace.note t.trace_coord ~ts:(instructions_retired t)
+       (Printf.sprintf "[%s] %s" (Syscall.name syscall) note));
   match t.tracer with
   | None -> ()
   | Some f ->
@@ -403,6 +441,17 @@ let relaxed_call t i ~cred ~trace_args n =
     end
   in
   let rc_raw = if trace_args then Array.copy raw.Sysabi.args else [||] in
+  (* Variant-ring recording: runs on whichever domain owns variant [i]
+     right now (its pinned domain during a release, the coordinator on
+     the hybrid-position path — never both). The canonical argument
+     images and the result are deterministic, so sequential and
+     parallel runs record the identical pair. *)
+  (if Trace.enabled t.trace then begin
+     let ring = t.trace_variants.(i) in
+     let ts = Cpu.instructions_retired cpu in
+     Trace.record ring ~ts (Trace.Syscall_enter { number = n; args = [| c0; c1 |] });
+     Trace.record ring ~ts (Trace.Syscall_exit { number = n; result })
+   end);
   Sysabi.set_result cpu result;
   {
     rc_number = n;
@@ -431,13 +480,18 @@ let flush_position t (records : relaxed_record array) =
     raise (Alarm_exn (Alarm.Syscall_mismatch { numbers }))
   end;
   let syscall = numbers.(0) in
-  Metrics.incr (call_counter t syscall);
   let now = Array.fold_left (fun acc r -> acc + r.rc_retired) 0 records in
+  if Trace.enabled t.trace then
+    Trace.record t.trace_coord ~ts:now (Trace.Rendezvous { number = syscall; relaxed = true });
+  Metrics.incr (call_counter t syscall);
   Metrics.observe
     (latency_histogram t syscall)
     (float_of_int (now - t.last_rendezvous_instr));
   t.last_rendezvous_instr <- now;
   let trace note =
+    (if Trace.enabled t.trace then
+       Trace.note t.trace_coord ~ts:now
+         (Printf.sprintf "[%s] %s" (Syscall.name syscall) note));
     match t.tracer with
     | None -> ()
     | Some f ->
@@ -515,6 +569,9 @@ let flush_prefix t =
 let flush_boundary t =
   if t.flush_batch > 0 then begin
     Metrics.observe t.deferred_batch_h (float_of_int t.flush_batch);
+    (if Trace.enabled t.trace then
+       Trace.record t.trace_coord ~ts:(instructions_retired t)
+         (Trace.Deferred_flush { batch = t.flush_batch }));
     t.flush_batch <- 0
   end
 
@@ -527,6 +584,9 @@ let flush_boundary t =
    the dispatch path does not re-fold over the variants. *)
 let dispatch t ~now_instr (raws : Sysabi.raw array) =
   let syscall = raws.(0).Sysabi.number in
+  if Trace.enabled t.trace then
+    Trace.record t.trace_coord ~ts:now_instr
+      (Trace.Rendezvous { number = syscall; relaxed = false });
   Metrics.incr (call_counter t syscall);
   (* Per-syscall rendezvous latency, measured in retired guest
      instructions (all variants) since the previous rendezvous. *)
@@ -770,6 +830,17 @@ let signal_pending t = t.signal <> None
 let deliver_signal t i ~handler =
   let v = t.variants.(i) in
   let cpu = v.Image.cpu in
+  (* Recorded at the injection point, before the handler runs: a
+     failed delivery still leaves its attempt in the flight recorder.
+     Writes variant [i]'s ring from whichever domain owns the variant
+     at the delivery site (its own for Immediate, the coordinator for
+     At_rendezvous — where every variant is parked). *)
+  (if Trace.enabled t.trace then
+     let immediate =
+       match t.signal with Some { mode = Immediate _; _ } -> true | Some _ | None -> false
+     in
+     Trace.record t.trace_variants.(i) ~ts:(Cpu.instructions_retired cpu)
+       (Trace.Signal { handler; immediate }));
   let failed detail =
     raise (Alarm_exn (Alarm.Signal_delivery_failed { variant = i; detail }))
   in
@@ -844,6 +915,8 @@ let run_variant_to_trap t i ~fuel =
 let run_variant_release t i ~fuel ~cred ~relaxed_ok ~trace_args ~emit =
   let cpu = t.variants.(i).Image.cpu in
   let start = Cpu.instructions_retired cpu in
+  if Trace.enabled t.trace then
+    Trace.record t.trace_variants.(i) ~ts:start Trace.Quantum_begin;
   let rec go () =
     let left = fuel - (Cpu.instructions_retired cpu - start) in
     if left <= 0 then A_fuel
@@ -862,7 +935,11 @@ let run_variant_release t i ~fuel ~cred ~relaxed_ok ~trace_args ~emit =
       | exception e -> A_raised (e, Printexc.get_raw_backtrace ())
     end
   in
-  go ()
+  let arrival = go () in
+  (if Trace.enabled t.trace then
+     let retired = Cpu.instructions_retired cpu in
+     Trace.record t.trace_variants.(i) ~ts:retired (Trace.Quantum_end { retired }));
+  arrival
 
 (* ------------------------------------------------------------------ *)
 (* Pinned-domain engine                                                *)
@@ -1062,10 +1139,71 @@ let with_engine t f =
 (* Lockstep execution                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* How many trailing events of each ring a forensics bundle keeps. *)
+let forensics_tail = 32
+
+(* The alarm post-mortem: alarm class and payload, rendezvous count,
+   the canonical kernel credentials plus each variant's reexpressed
+   view of them, every variant's register file / pc / retired count,
+   and the tail of every flight-recorder ring. Built on the
+   coordinator; in parallel mode every variant domain is parked when
+   an alarm is classified, and its arrival was popped from the SPSC
+   ring after its last ring write, so reading the rings here is
+   ordered. *)
+let build_forensics t reason =
+  let open Metrics.Json in
+  let num i = Num (float_of_int i) in
+  let hex v = Str (Printf.sprintf "0x%08X" v) in
+  let cred = Kernel.cred t.kernel in
+  let cred_json =
+    Obj
+      [
+        ("ruid", num cred.Cred.ruid);
+        ("euid", num cred.Cred.euid);
+        ("rgid", num cred.Cred.rgid);
+        ("egid", num cred.Cred.egid);
+      ]
+  in
+  let variant_json i v =
+    let cpu = v.Image.cpu in
+    let spec = uid_spec t i in
+    Obj
+      [
+        ("variant", num i);
+        ("pc", hex (Cpu.pc cpu));
+        ("instructions_retired", num (Cpu.instructions_retired cpu));
+        ("registers", List (List.init 16 (fun r -> hex (Cpu.reg cpu r))));
+        ( "credentials_reexpressed",
+          Obj
+            [
+              ("ruid", num (spec.Reexpression.encode cred.Cred.ruid));
+              ("euid", num (spec.Reexpression.encode cred.Cred.euid));
+            ] );
+      ]
+  in
+  Obj
+    [
+      ("alarm", Alarm.to_json reason);
+      ("rendezvous", num (Metrics.counter_value t.rendezvous_c));
+      ("instructions_retired", num (instructions_retired t));
+      ("credentials", cred_json);
+      ("variants", List (Array.to_list (Array.mapi variant_json t.variants)));
+      ( "rings",
+        List
+          (List.map
+             (Trace.ring_events_json ~syscall_name:Syscall.name ~last:forensics_tail)
+             (Trace.rings t.trace)) );
+    ]
+
 (* Every alarm leaving [run] passes through here so the per-reason
-   alarm counters cover all production sites. *)
+   alarm counters and the forensics post-mortem cover all production
+   sites. *)
 let alarmed t reason =
   Metrics.incr (Metrics.counter t.alarms_scope (Alarm.short_label reason));
+  if Trace.enabled t.trace then
+    Trace.record t.trace_coord ~ts:(instructions_retired t)
+      (Trace.Alarm { label = Alarm.short_label reason });
+  t.forensics <- Some (build_forensics t reason);
   Logs.info ~src:Nv_util.Logsrc.monitor (fun m -> m "alarm: %a" Alarm.pp reason);
   Alarm reason
 
@@ -1086,6 +1224,7 @@ let run ?(fuel = 50_000_000) t =
   let n = Array.length t.variants in
   let finish outcome =
     flush_boundary t;
+    if Trace.enabled t.trace then Trace.publish t.trace t.metrics;
     outcome
   in
   with_engine t @@ fun engine ->

@@ -142,6 +142,31 @@ val stats : t -> stats
 val set_tracer : t -> (event -> unit) -> unit
 (** Install a rendezvous observer (Figure 2 demo). *)
 
+(** {1 Flight recorder}
+
+    Every monitor owns a disabled {!Nv_util.Trace} session with one
+    ring per variant (tid [0..n-1]; owned by that variant's domain
+    while it is released, so recording is lock-free), a coordinator
+    ring (tid [n]: full and relaxed rendezvous, deferred-flush
+    boundaries, dispatch breadcrumbs, alarms) and a kernel ring (tid
+    [n+1]: every kernel dispatch). Timestamps are retired-instruction
+    counts — the variant's own for its ring, the all-variant total for
+    the coordinator and kernel — so sequential and parallel runs of
+    the same program record bit-identical streams. Enable with
+    [Trace.set_enabled (trace_session t) true]; when disabled every
+    recording site costs one atomic load and allocates nothing. *)
+
+val trace_session : t -> Nv_util.Trace.t
+
+val forensics : t -> Nv_util.Metrics.Json.value option
+(** The post-mortem bundle captured by the most recent alarm (any
+    alarm, whether or not the recorder is enabled): alarm class and
+    payload including the divergent variant(s), syscall number and
+    mismatched canonical argument values; rendezvous count; canonical
+    and per-variant reexpressed credentials; each variant's pc,
+    register file and retired count; and the tail of every trace ring
+    (empty rings when the recorder was off). *)
+
 (** {1 Asynchronous events (signals)}
 
     Section 3.1 flags scheduling divergence from asynchronous signal

@@ -1,4 +1,5 @@
 module Metrics = Nv_util.Metrics
+module Trace = Nv_util.Trace
 
 type config = {
   checkpoint_interval : int;
@@ -9,6 +10,13 @@ type config = {
 let default_config =
   { checkpoint_interval = 1; max_recoveries = 8; recovery_window = 100_000 }
 
+type recovery_record = {
+  rr_rendezvous : int;
+  rr_alarm : Alarm.reason;
+  rr_dropped : int;
+  rr_forensics : Metrics.Json.value option;
+}
+
 type t = {
   monitor : Monitor.t;
   config : config;
@@ -17,6 +25,8 @@ type t = {
   mutable recovery_stamps : int list;  (* rendezvous counts, newest first *)
   mutable last_alarm : Alarm.reason option;
   mutable exhausted : bool;
+  mutable recovery_records : recovery_record list;  (* newest first *)
+  trace_ring : Trace.ring;
   recoveries_c : Metrics.counter;
   dropped_c : Metrics.counter;
   checkpoints_c : Metrics.counter;
@@ -42,6 +52,15 @@ let create ?(config = default_config) monitor =
       recovery_stamps = [];
       last_alarm = None;
       exhausted = false;
+      recovery_records = [];
+      (* The supervisor lane sits past the monitor's variant /
+         coordinator / kernel tids; it only records on the
+         coordinating domain, between [Monitor.run] calls. *)
+      trace_ring =
+        Trace.ring
+          (Monitor.trace_session monitor)
+          ~name:"supervisor" ~pid:0
+          ~tid:(Monitor.variant_count monitor + 2);
       recoveries_c = Metrics.counter scope "recoveries";
       dropped_c = Metrics.counter scope "dropped_connections";
       checkpoints_c = Metrics.counter scope "checkpoints";
@@ -49,6 +68,10 @@ let create ?(config = default_config) monitor =
     }
   in
   Metrics.incr t.checkpoints_c;
+  (if Trace.enabled_ring t.trace_ring then
+     Trace.record t.trace_ring
+       ~ts:(Monitor.instructions_retired monitor)
+       (Trace.Checkpoint { rendezvous = t.checkpoint_rv }));
   t
 
 let monitor t = t.monitor
@@ -65,6 +88,12 @@ let last_alarm t = t.last_alarm
 
 let exhausted t = t.exhausted
 
+let recovery_log t = List.rev t.recovery_records
+
+let record_event t kind =
+  if Trace.enabled_ring t.trace_ring then
+    Trace.record t.trace_ring ~ts:(Monitor.instructions_retired t.monitor) kind
+
 (* Checkpoints are only taken at [Blocked_on_accept]: every variant is
    parked at an equivalent rendezvous boundary with its pc rewound to
    the accept instruction, so a restore resumes the accept loop with no
@@ -74,7 +103,8 @@ let maybe_checkpoint t =
   if now - t.checkpoint_rv >= t.config.checkpoint_interval then begin
     t.checkpoint <- Monitor.snapshot t.monitor;
     t.checkpoint_rv <- now;
-    Metrics.incr t.checkpoints_c
+    Metrics.incr t.checkpoints_c;
+    record_event t (Trace.Checkpoint { rendezvous = now })
   end
 
 (* The restart budget: at most [max_recoveries] rollbacks within any
@@ -99,17 +129,31 @@ let run ?fuel t =
       if t.exhausted || not (budget_available t ~now) then begin
         t.exhausted <- true;
         Metrics.incr t.failstop_c;
-        Logs.warn ~src:Nv_util.Logsrc.monitor (fun m ->
+        record_event t (Trace.Failstop { rendezvous = now });
+        Logs.warn ~src:Nv_util.Logsrc.supervisor (fun m ->
             m "supervisor: recovery budget exhausted, failing stop on %a" Alarm.pp
               reason);
         Monitor.Alarm reason
       end
       else begin
+        (* The forensics bundle was captured by the monitor at the
+           alarm, before the rollback below erases the divergent
+           state; attach it to the recovery record. *)
+        let forensics = Monitor.forensics t.monitor in
         let dropped = Monitor.restore t.monitor t.checkpoint in
         t.recovery_stamps <- now :: t.recovery_stamps;
+        t.recovery_records <-
+          {
+            rr_rendezvous = now;
+            rr_alarm = reason;
+            rr_dropped = dropped;
+            rr_forensics = forensics;
+          }
+          :: t.recovery_records;
         Metrics.incr t.recoveries_c;
         Metrics.add t.dropped_c dropped;
-        Logs.info ~src:Nv_util.Logsrc.monitor (fun m ->
+        record_event t (Trace.Rollback { rendezvous = t.checkpoint_rv; dropped });
+        Logs.info ~src:Nv_util.Logsrc.supervisor (fun m ->
             m "supervisor: rolled back to checkpoint (%d connection%s dropped) on %a"
               dropped
               (if dropped = 1 then "" else "s")

@@ -67,6 +67,21 @@ val checkpoints : t -> int
 val last_alarm : t -> Alarm.reason option
 (** The most recent alarm absorbed or surfaced, if any. *)
 
+type recovery_record = {
+  rr_rendezvous : int;  (** rendezvous count when the alarm fired *)
+  rr_alarm : Alarm.reason;
+  rr_dropped : int;  (** live connections closed by the rollback *)
+  rr_forensics : Nv_util.Metrics.Json.value option;
+      (** the monitor's post-mortem bundle, captured before the
+          rollback erased the divergent state *)
+}
+
+val recovery_log : t -> recovery_record list
+(** Every rollback performed, oldest first, each carrying the alarm it
+    absorbed and the forensics bundle snapshotted at that alarm.
+    Fail-stopped alarms are not in the log (they were not recovered);
+    their bundle remains available via {!Monitor.forensics}. *)
+
 val exhausted : t -> bool
 (** Whether the restart budget has been exhausted (the supervisor has
     degraded to fail-stop). *)

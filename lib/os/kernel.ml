@@ -45,6 +45,7 @@ type t = {
   unshared_bytes_out : Metrics.counter;
   fds_open : Metrics.gauge;
   fds_high_water : Metrics.gauge;
+  mutable trace : (Nv_util.Trace.ring * (unit -> int)) option;
 }
 
 let create ?metrics ?(fd_limit = 64) ~variants vfs =
@@ -83,6 +84,7 @@ let create ?metrics ?(fd_limit = 64) ~variants vfs =
       unshared_bytes_out = Metrics.counter io_scope "unshared_bytes_out";
       fds_open = Metrics.gauge fds_scope "open";
       fds_high_water = Metrics.gauge fds_scope "high_water";
+      trace = None;
     }
   in
   Metrics.set_gauge t.fds_open (float_of_int t.open_fds);
@@ -115,10 +117,18 @@ let exit_status t = t.exit_status
 
 let syscalls_executed t = t.syscalls
 
+let set_trace t ~ring ~clock = t.trace <- Some (ring, clock)
+
 let count t name =
   t.syscalls <- t.syscalls + 1;
   Metrics.incr t.syscalls_c;
-  Metrics.incr (Metrics.counter t.calls_scope name)
+  Metrics.incr (Metrics.counter t.calls_scope name);
+  match t.trace with
+  | None -> ()
+  | Some (ring, clock) ->
+      if Nv_util.Trace.enabled_ring ring then
+        Nv_util.Trace.record ring ~ts:(clock ())
+          (Nv_util.Trace.Kernel_call { name; seq = t.syscalls })
 
 let fd_delta t delta =
   t.open_fds <- t.open_fds + delta;

@@ -55,6 +55,13 @@ val stderr_contents : t -> string
 val exit_status : t -> int option
 val syscalls_executed : t -> int
 
+val set_trace : t -> ring:Nv_util.Trace.ring -> clock:(unit -> int) -> unit
+(** Route every dispatched syscall as a [Kernel_call] event into [ring]
+    (timestamped by [clock]) whenever the ring's session is enabled.
+    The monitor installs this with its own retired-instruction clock;
+    the kernel runs on the coordinating domain only, so the ring is
+    single-writer. *)
+
 (** {1 Canonical syscall implementations}
 
     All return a result word ([-1] i.e. [0xFFFFFFFF] on error) unless

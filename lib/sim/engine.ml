@@ -41,7 +41,12 @@ let step t =
   | Some (time, _, f) ->
     t.clock <- time;
     Metrics.incr t.events_executed;
-    f ();
+    (try f ()
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       Logs.warn ~src:Nv_util.Logsrc.engine (fun m ->
+           m "event at t=%.6f raised %s" time (Printexc.to_string e));
+       Printexc.raise_with_backtrace e bt);
     true
 
 let run ?until t =

@@ -1,4 +1,5 @@
 module Metrics = Nv_util.Metrics
+module Trace = Nv_util.Trace
 
 type request = { service_s : float; response_bytes : int; attack : bool }
 
@@ -111,6 +112,17 @@ type state = {
   mutable goodput_bytes : int;
   mutable latency_sum : float;
   mutable transitions : (float * int * string) list;
+  (* Flight recorder (optional): balancer ring at pid 0, one ring per
+     replica at pid id+1. The simulation is single-domain, so the
+     rings are trivially single-writer; timestamps are simulated
+     microseconds. *)
+  trace : fleet_trace option;
+}
+
+and fleet_trace = {
+  tr_session : Trace.t;
+  tr_balancer : Trace.ring;
+  tr_replicas : Trace.ring array;
 }
 
 let validate cfg =
@@ -131,8 +143,23 @@ let validate cfg =
   if cfg.slo_target <= 0.0 || cfg.slo_target >= 1.0 then
     invalid_arg "Fleet: slo_target must be in (0,1)"
 
+let sim_us t = int_of_float (Engine.now t.engine *. 1e6)
+
+let record_replica t (r : replica) kind =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    if Trace.enabled tr.tr_session then Trace.record tr.tr_replicas.(r.id) ~ts:(sim_us t) kind
+
+let record_balancer t kind =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    if Trace.enabled tr.tr_session then Trace.record tr.tr_balancer ~ts:(sim_us t) kind
+
 let transition t r label =
-  t.transitions <- (Engine.now t.engine, r.id, label) :: t.transitions
+  t.transitions <- (Engine.now t.engine, r.id, label) :: t.transitions;
+  record_replica t r (Trace.Health { replica = r.id; state = label })
 
 let drop (t : state) (r : replica) (_ : pending) =
   t.dropped <- t.dropped + 1;
@@ -172,6 +199,7 @@ let rec probe_loop t r =
 let raise_alarm t r =
   let now = Engine.now t.engine in
   t.alarms <- t.alarms + 1;
+  record_replica t r (Trace.Alarm { label = "divergence" });
   (* Rollback tears down every live connection: queued requests die here,
      in-service and mid-transfer ones when their stale events fire. *)
   Queue.iter (fun p -> drop t r p) r.conn_queue;
@@ -201,6 +229,8 @@ let raise_alarm t r =
        only re-adds it after restart plus a clean probation streak. *)
     t.failstops <- t.failstops + 1;
     r.health <- Down;
+    Logs.warn ~src:Nv_util.Logsrc.fleet (fun m ->
+        m "replica %d fail-stopped at t=%.3fs (recovery budget exhausted)" r.id now);
     transition t r "down";
     Engine.schedule_after t.engine ~delay:t.cfg.restart_s (fun () ->
         r.health <- Probation 0;
@@ -267,7 +297,9 @@ let handle_arrival t req =
   t.arrivals <- t.arrivals + 1;
   let p = { req; t_arrival = Engine.now t.engine } in
   match pick_replica t with
-  | None -> t.rejected <- t.rejected + 1
+  | None ->
+    t.rejected <- t.rejected + 1;
+    record_balancer t (Trace.Shed { replica = -1 })
   | Some r ->
     if r.idle_conns > 0 then begin
       r.idle_conns <- r.idle_conns - 1;
@@ -279,8 +311,10 @@ let handle_arrival t req =
       t.pool_misses <- t.pool_misses + 1;
       transfer t r r.epoch p ~delay:(t.cfg.conn_setup_s +. (t.cfg.rtt_s /. 2.0))
     end
-    else if Queue.length r.conn_queue >= t.cfg.queue_limit then
-      t.rejected <- t.rejected + 1
+    else if Queue.length r.conn_queue >= t.cfg.queue_limit then begin
+      t.rejected <- t.rejected + 1;
+      record_balancer t (Trace.Shed { replica = r.id })
+    end
     else Queue.push p r.conn_queue
 
 let make_replica id =
@@ -320,13 +354,26 @@ let publish (t : state) (report : report) =
   g "slo.availability" report.availability;
   g "slo.error_budget_used" report.error_budget_used
 
-let run ?metrics cfg ~next_request =
+let run ?metrics ?trace cfg ~next_request =
   validate cfg;
   let engine = Engine.create ?metrics () in
+  let trace =
+    Option.map
+      (fun session ->
+        {
+          tr_session = session;
+          tr_balancer = Trace.ring session ~name:"balancer" ~pid:0 ~tid:0;
+          tr_replicas =
+            Array.init cfg.replicas (fun i ->
+                Trace.ring session ~name:(Printf.sprintf "replica %d" i) ~pid:(i + 1) ~tid:0);
+        })
+      trace
+  in
   let t =
     {
       cfg;
       engine;
+      trace;
       fleet = Array.init cfg.replicas make_replica;
       latency = Metrics.histogram (Metrics.scope (Engine.metrics engine) "fleet") "latency_s";
       arrivals = 0;
@@ -396,4 +443,8 @@ let run ?metrics cfg ~next_request =
     }
   in
   publish t report;
+  (match t.trace with
+  | Some tr when Trace.enabled tr.tr_session ->
+    Trace.publish tr.tr_session (Engine.metrics engine)
+  | Some _ | None -> ());
   report

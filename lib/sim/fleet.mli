@@ -80,9 +80,19 @@ type report = {
           ["recovering"], ["up"], ["down"], ["probation"] *)
 }
 
-val run : ?metrics:Nv_util.Metrics.t -> config -> next_request:(unit -> request) -> report
+val run :
+  ?metrics:Nv_util.Metrics.t ->
+  ?trace:Nv_util.Trace.t ->
+  config ->
+  next_request:(unit -> request) ->
+  report
 (** Simulate [config.duration_s] seconds of open-loop load. The request
     stream comes from [next_request], called once per arrival in arrival
     order (so a seeded closure keeps the whole run deterministic).
-    Raises [Invalid_argument] on a non-positive fleet dimension, a
+    [trace] registers flight-recorder rings in the given session — a
+    balancer ring (pid 0: shedding decisions) and one per replica (pid
+    [id+1]: health transitions and divergence alarms), timestamped in
+    simulated microseconds; when the session is enabled the [trace.*]
+    gauges are published into the engine registry at the end of the
+    run. Raises [Invalid_argument] on a non-positive fleet dimension, a
     negative cost parameter, or an [slo_target] outside (0,1). *)

@@ -2,6 +2,9 @@ let monitor = Logs.Src.create "nv.monitor" ~doc:"N-variant monitor events"
 let kernel = Logs.Src.create "nv.kernel" ~doc:"Simulated kernel syscalls"
 let vm = Logs.Src.create "nv.vm" ~doc:"Virtual machine traps"
 let workload = Logs.Src.create "nv.workload" ~doc:"Workload generator"
+let supervisor = Logs.Src.create "nv.supervisor" ~doc:"Recovery supervisor checkpoints/rollbacks"
+let fleet = Logs.Src.create "nv.fleet" ~doc:"Fleet balancer and replica health"
+let engine = Logs.Src.create "nv.engine" ~doc:"Discrete-event simulation engine"
 
 let setup ?(level = Logs.Warning) () =
   Logs.set_reporter (Logs_fmt.reporter ());

@@ -12,6 +12,15 @@ val vm : Logs.src
 val workload : Logs.src
 (** Workload generator progress. *)
 
+val supervisor : Logs.src
+(** Recovery supervisor: checkpoints, rollbacks, fail-stop. *)
+
+val fleet : Logs.src
+(** Fleet balancer: replica health transitions and shedding. *)
+
+val engine : Logs.src
+(** Discrete-event simulation engine. *)
+
 val setup : ?level:Logs.level -> unit -> unit
 (** Install a [Fmt]-based reporter on stderr and set the global level
     (default [Logs.Warning]). Intended for executables; the library

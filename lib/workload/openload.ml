@@ -58,7 +58,7 @@ let mean_service_s ?(cost = Cost_model.default) ~variants samples =
 let comparison_cost_s = 2.0e-8
 
 let run ?(seed = 11) ?(cost = Cost_model.default) ?(fleet = Fleet.default) ?metrics
-    ?entries ~variants ~samples spec =
+    ?trace ?entries ~variants ~samples spec =
   if Array.length samples = 0 then invalid_arg "Openload.run: no samples";
   let entries =
     match entries with Some e -> e | None -> population ~seed ~users:spec.users ()
@@ -100,7 +100,7 @@ let run ?(seed = 11) ?(cost = Cost_model.default) ?(fleet = Fleet.default) ?metr
       seed;
     }
   in
-  let report = Fleet.run ?metrics config ~next_request in
+  let report = Fleet.run ?metrics ?trace config ~next_request in
   let comparisons = Passwd.comparisons idx in
   {
     fleet = report;

@@ -50,6 +50,7 @@ val run :
   ?cost:Cost_model.t ->
   ?fleet:Nv_sim.Fleet.config ->
   ?metrics:Nv_util.Metrics.t ->
+  ?trace:Nv_util.Trace.t ->
   ?entries:Nv_os.Passwd.entry list ->
   variants:int ->
   samples:Measure.sample array ->
@@ -64,4 +65,5 @@ val run :
     generate a million-entry population once and reuse it across
     arrival models — else {!population} of [spec.users]); the
     comparisons it spends are charged to that request's service time.
+    [trace] is handed to {!Nv_sim.Fleet.run} for flight-recorder rings.
     Raises [Invalid_argument] on empty [samples]. *)

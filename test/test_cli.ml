@@ -89,6 +89,56 @@ let test_nvexec_trace () =
   Alcotest.(check int) "exit 0" 0 status;
   Alcotest.(check bool) "seteuid traced" true (contains output "[seteuid]")
 
+(* The Table 2 attack as a standalone guest: the strcpy NUL terminator
+   and 'A' bytes overrun buf into the adjacent worker UID word, so
+   both variants hold the same raw (un-reexpressed) value and the
+   first detection call on it diverges. *)
+let overflow_program =
+  {|char buf[8];
+    uid_t worker = 33;
+    int main(void) {
+      strcpy(buf, "AAAAAAAAAAAA");
+      if (worker == 0) { return 2; }
+      if (seteuid(worker) != 0) { return 1; }
+      return 0;
+    }|}
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_nvexec_trace_out () =
+  let path = write_temp_program overflow_program in
+  let trace_path = Filename.temp_file "nvcli" ".json" in
+  let status, output =
+    run_capture
+      (Printf.sprintf "../bin/nvexec.exe -v uid-diversity --trace-out %s %s" trace_path
+         path)
+  in
+  Sys.remove path;
+  let trace = read_file trace_path in
+  Sys.remove trace_path;
+  Alcotest.(check int) "alarm exit code" 3 status;
+  Alcotest.(check bool) "alarm reported" true (contains output "ALARM: cc_eq");
+  (* Valid JSON (parse with the same parser the library emits for),
+     Chrome trace-event shaped, divergence visible in the final
+     events, forensics attached. *)
+  (match Nv_util.Metrics.Json.of_string trace with
+  | Error e -> Alcotest.failf "trace-out is not valid JSON: %s" e
+  | Ok json ->
+    Alcotest.(check bool) "has traceEvents" true
+      (Nv_util.Metrics.Json.member "traceEvents" json <> None);
+    Alcotest.(check bool) "has forensics" true
+      (Nv_util.Metrics.Json.member "forensics" json <> None));
+  Alcotest.(check bool) "divergence rendezvous in events" true
+    (contains trace "rendezvous:cc_eq");
+  Alcotest.(check bool) "alarm instant in events" true (contains trace "alarm:arg");
+  Alcotest.(check bool) "mismatched canonical value kept" true
+    (contains trace "0x41414141")
+
 let test_attack_lab_list () =
   let status, output = run_capture "../bin/attack_lab.exe --list" in
   Alcotest.(check int) "exit 0" 0 status;
@@ -101,6 +151,22 @@ let test_attack_lab_single_cell () =
   in
   Alcotest.(check int) "exit 0 (not escalated)" 0 status;
   Alcotest.(check bool) "detected" true (contains output "DETECTED")
+
+let test_attack_lab_forensics () =
+  let out_path = Filename.temp_file "nvcli" ".json" in
+  let status, output =
+    run_capture
+      (Printf.sprintf
+         "../bin/attack_lab.exe --attack uid-null-overflow --config config4 \
+          --forensics %s"
+         out_path)
+  in
+  let dump = read_file out_path in
+  Sys.remove out_path;
+  Alcotest.(check int) "exit 0" 0 status;
+  Alcotest.(check bool) "cell verdict printed" true (contains output "DETECTED");
+  Alcotest.(check bool) "forensics bundle written" true (contains dump "\"forensics\"");
+  Alcotest.(check bool) "alarm class in bundle" true (contains dump "\"class\":\"arg\"")
 
 let test_bench_table1 () =
   let status, output = run_capture "../bench/main.exe table1" in
@@ -155,6 +221,28 @@ let test_fleetsim_smoke () =
   Alcotest.(check bool) "latency line" true (contains output "latency: p50");
   Alcotest.(check bool) "slo line" true (contains output "availability")
 
+let test_fleetsim_trace_and_log_level () =
+  let trace_path = Filename.temp_file "nvcli" ".json" in
+  let status, output =
+    run_capture
+      (Printf.sprintf
+         "../bin/fleetsim.exe --replicas 2 --rate 150 --duration 2 --users 5000 \
+          --attacks-per-10k 50 --seed 7 --log-level info --trace-out %s"
+         trace_path)
+  in
+  let trace = read_file trace_path in
+  Sys.remove trace_path;
+  Alcotest.(check int) "exit 0" 0 status;
+  Alcotest.(check bool) "fleet header" true (contains output "fleet: 2 replicas");
+  (match Nv_util.Metrics.Json.of_string trace with
+  | Error e -> Alcotest.failf "fleet trace-out is not valid JSON: %s" e
+  | Ok json ->
+    Alcotest.(check bool) "has traceEvents" true
+      (Nv_util.Metrics.Json.member "traceEvents" json <> None));
+  Alcotest.(check bool) "replica health transitions traced" true
+    (contains trace "health:");
+  Alcotest.(check bool) "replica lanes named" true (contains trace "replica 0")
+
 let test_fleetsim_deterministic_across_parallel () =
   let invoke parallel =
     run_capture
@@ -183,12 +271,14 @@ let () =
         [
           Alcotest.test_case "uid diversity" `Quick test_nvexec_uid_diversity;
           Alcotest.test_case "trace" `Quick test_nvexec_trace;
+          Alcotest.test_case "trace-out" `Quick test_nvexec_trace_out;
           Alcotest.test_case "metrics dump" `Quick test_nvexec_metrics_dump;
         ] );
       ( "attack_lab",
         [
           Alcotest.test_case "list" `Quick test_attack_lab_list;
           Alcotest.test_case "single cell" `Quick test_attack_lab_single_cell;
+          Alcotest.test_case "forensics dump" `Quick test_attack_lab_forensics;
         ] );
       ( "bench",
         [
@@ -199,6 +289,8 @@ let () =
       ( "fleetsim",
         [
           Alcotest.test_case "smoke" `Quick test_fleetsim_smoke;
+          Alcotest.test_case "trace-out and log-level" `Quick
+            test_fleetsim_trace_and_log_level;
           Alcotest.test_case "seq/par identical" `Quick
             test_fleetsim_deterministic_across_parallel;
         ] );

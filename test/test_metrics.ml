@@ -161,6 +161,45 @@ let test_text_export () =
         (contains text line))
     [ "counter m.count 3"; "gauge m.level 1.5"; "histogram m.hist count=3" ]
 
+let test_dump_sorted () =
+  (* Regression pin: dump output is in sorted name order regardless of
+     registration order, in both text and JSON form. *)
+  let reg = Metrics.create () in
+  Metrics.incr (Metrics.counter (Metrics.scope reg "zz") "last");
+  Metrics.set_gauge (Metrics.gauge (Metrics.scope reg "aa") "first") 1.0;
+  Metrics.incr (Metrics.counter (Metrics.scope reg "mm") "mid");
+  let names_of_lines text =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> l <> "")
+    |> List.map (fun l ->
+           match String.split_on_char ' ' l with
+           | _kind :: name :: _ -> name
+           | _ -> Alcotest.failf "unparseable dump line %S" l)
+  in
+  let names = names_of_lines (Metrics.to_text reg) in
+  Alcotest.(check (list string))
+    "text lines sorted"
+    [ "aa.first"; "mm.mid"; "zz.last" ]
+    names;
+  (match Metrics.to_json_value reg with
+  | Json.Obj groups ->
+    List.iter
+      (fun (group, v) ->
+        match v with
+        | Json.Obj fields ->
+          let keys = List.map fst fields in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s keys sorted" group)
+            (List.sort compare keys) keys
+        | _ -> Alcotest.failf "group %s is not an object" group)
+      groups;
+    (match List.assoc_opt "counters" groups with
+    | Some (Json.Obj fields) ->
+      Alcotest.(check (list string))
+        "counter keys" [ "mm.mid"; "zz.last" ] (List.map fst fields)
+    | _ -> Alcotest.fail "no counters group")
+  | _ -> Alcotest.fail "to_json_value is not an object")
+
 let test_json_roundtrip () =
   let reg = populated () in
   match Json.of_string (Metrics.to_json reg) with
@@ -291,6 +330,7 @@ let () =
       ( "export",
         [
           Alcotest.test_case "text" `Quick test_text_export;
+          Alcotest.test_case "dump sorted" `Quick test_dump_sorted;
           Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "json rejects garbage" `Quick test_json_parser_rejects_garbage;
         ] );
