@@ -595,10 +595,10 @@ let report_bench ?(path = "BENCH_results.json") () =
 (* ------------------------------------------------------------------ *)
 
 (* Unlike every other report, hostperf measures the *host* cost of
-   running the guest: wall-clock guest-MIPS with the predecoded
-   instruction cache on vs. the reference (pre-cache) decode path, for
-   a pure interpreter microbench and for the full 2-variant monitored
-   server. *)
+   running the guest: wall-clock guest-MIPS across the three execution
+   tiers — reference decode, predecoded icache, and the basic-block
+   compiler — for a pure interpreter microbench and for the full
+   2-variant monitored server. *)
 
 let hostperf_loop_iters = 150_000
 
@@ -624,32 +624,35 @@ let hostperf_program =
 
 let mips instructions seconds = float_of_int instructions /. max seconds 1e-9 /. 1e6
 
-(* Best of [reps] runs, to shed warm-up and scheduler noise. *)
-let interp_hostperf ~icache ~reps =
+(* Best of [reps] runs, to shed warm-up and scheduler noise. Also
+   returns the block engine's (compiled, hits, invalidations) counters
+   from the last run — all zero for the stepping tiers. *)
+let interp_hostperf ~engine ~reps =
   let image = Nv_vm.Asm.assemble hostperf_program in
   let instructions = ref 0 in
   let best = ref 0. in
+  let stats = ref (0, 0, 0) in
   for _ = 1 to reps do
     let loaded = Nv_vm.Image.load image ~base:0x1000 ~size:(1 lsl 20) ~tag:0 in
-    Nv_vm.Memory.set_icache_enabled loaded.Nv_vm.Image.memory icache;
+    Nv_vm.Memory.set_engine loaded.Nv_vm.Image.memory engine;
     let t0 = Unix.gettimeofday () in
     (match Nv_vm.Cpu.run loaded.Nv_vm.Image.cpu ~fuel:10_000_000 with
     | Nv_vm.Cpu.Trapped Nv_vm.Cpu.Halt_trap -> ()
     | _ -> failwith "hostperf: interpreter microbench did not halt");
     let dt = Unix.gettimeofday () -. t0 in
     instructions := Nv_vm.Cpu.instructions_retired loaded.Nv_vm.Image.cpu;
+    stats := Nv_vm.Cpu.block_stats loaded.Nv_vm.Image.cpu;
     best := Float.max !best (mips !instructions dt)
   done;
-  (!instructions, !best)
+  (!instructions, !best, !stats)
 
-let monitor_hostperf ?(trace = false) ~icache ~requests () =
+let monitor_hostperf ?(trace = false) ~engine ~requests () =
   match Deploy.build Deploy.Two_variant_uid with
   | Error e -> failwith e
   | Ok sys ->
     let monitor = Nsystem.monitor sys in
     for i = 0 to Monitor.variant_count monitor - 1 do
-      Nv_vm.Memory.set_icache_enabled
-        (Monitor.loaded monitor i).Nv_vm.Image.memory icache
+      Nv_vm.Memory.set_engine (Monitor.loaded monitor i).Nv_vm.Image.memory engine
     done;
     if trace then Nv_util.Trace.set_enabled (Monitor.trace_session monitor) true;
     let instr0 = Monitor.instructions_retired monitor in
@@ -680,13 +683,15 @@ let trace_hostperf ~reps ~requests =
   let on_ = ref 0. in
   let best_off_ratio = ref 0. in
   for _ = 1 to reps do
-    let instr, plain_m = monitor_hostperf ~icache:true ~requests () in
+    let instr, plain_m = monitor_hostperf ~engine:Nv_vm.Memory.Icache ~requests () in
     instructions := instr;
     plain := Float.max !plain plain_m;
-    let _, off_m = monitor_hostperf ~trace:false ~icache:true ~requests () in
+    let _, off_m =
+      monitor_hostperf ~trace:false ~engine:Nv_vm.Memory.Icache ~requests ()
+    in
     off := Float.max !off off_m;
     best_off_ratio := Float.max !best_off_ratio (off_m /. plain_m);
-    let _, on_m = monitor_hostperf ~trace:true ~icache:true ~requests () in
+    let _, on_m = monitor_hostperf ~trace:true ~engine:Nv_vm.Memory.Icache ~requests () in
     on_ := Float.max !on_ on_m
   done;
   (!instructions, !plain, !off, !on_, !best_off_ratio)
@@ -750,8 +755,19 @@ let parallel_hostperf ~variants ~parallel ~reps =
 
 let report_hostperf ?(path = "BENCH_results.json") () =
   section "HOSTPERF: host wall-clock guest-MIPS (interpreter and 2-variant monitor)";
-  let interp_instr, interp_ref = interp_hostperf ~icache:false ~reps:3 in
-  let _, interp_fast = interp_hostperf ~icache:true ~reps:3 in
+  let interp_instr, interp_ref, _ =
+    interp_hostperf ~engine:Nv_vm.Memory.Reference ~reps:3
+  in
+  let _, interp_fast, _ = interp_hostperf ~engine:Nv_vm.Memory.Icache ~reps:3 in
+  let block_instr, interp_block, (block_compiled, block_hits, block_invalidations) =
+    interp_hostperf ~engine:Nv_vm.Memory.Block ~reps:3
+  in
+  (* The three tiers must retire the identical instruction stream; a
+     drift here means the block engine changed observable semantics. *)
+  if block_instr <> interp_instr then
+    failwith
+      (Printf.sprintf "hostperf: engines disagree on retired instructions (%d vs %d)"
+         interp_instr block_instr);
   let requests = 40 in
   (* Best of 3 fresh systems each, like the interpreter rows: the
      trace-overhead gate compares against mon_fast, so a single noisy
@@ -766,28 +782,51 @@ let report_hostperf ?(path = "BENCH_results.json") () =
     done;
     (!instructions, !best)
   in
-  let mon_instr, mon_ref = best_of 3 (fun () -> monitor_hostperf ~icache:false ~requests ()) in
-  let _, mon_fast = best_of 3 (fun () -> monitor_hostperf ~icache:true ~requests ()) in
+  let mon_instr, mon_ref =
+    best_of 3 (fun () -> monitor_hostperf ~engine:Nv_vm.Memory.Reference ~requests ())
+  in
+  let _, mon_fast =
+    best_of 3 (fun () -> monitor_hostperf ~engine:Nv_vm.Memory.Icache ~requests ())
+  in
+  let mon_block_instr, mon_block =
+    best_of 3 (fun () -> monitor_hostperf ~engine:Nv_vm.Memory.Block ~requests ())
+  in
+  if mon_block_instr <> mon_instr then
+    failwith
+      (Printf.sprintf
+         "hostperf: monitor engines disagree on retired instructions (%d vs %d)" mon_instr
+         mon_block_instr);
   let interp_speedup = interp_fast /. interp_ref in
   let mon_speedup = mon_fast /. mon_ref in
+  let block_vs_icache = interp_block /. interp_fast in
+  let mon_block_vs_icache = mon_block /. mon_fast in
   Nv_util.Tablefmt.print
-    ~header:[ "configuration"; "guest instructions"; "reference MIPS"; "cached MIPS"; "speedup" ]
+    ~header:
+      [
+        "configuration"; "guest instructions"; "reference MIPS"; "icache MIPS";
+        "block MIPS"; "block vs icache";
+      ]
     ~rows:
       [
         [
           "interpreter microbench"; string_of_int interp_instr;
           Printf.sprintf "%.2f" interp_ref; Printf.sprintf "%.2f" interp_fast;
-          Printf.sprintf "%.2fx" interp_speedup;
+          Printf.sprintf "%.2f" interp_block; Printf.sprintf "%.2fx" block_vs_icache;
         ];
         [
           Printf.sprintf "2-variant monitor (%d requests)" requests;
           string_of_int mon_instr; Printf.sprintf "%.2f" mon_ref;
-          Printf.sprintf "%.2f" mon_fast; Printf.sprintf "%.2fx" mon_speedup;
+          Printf.sprintf "%.2f" mon_fast; Printf.sprintf "%.2f" mon_block;
+          Printf.sprintf "%.2fx" mon_block_vs_icache;
         ];
       ]
     ();
   Printf.printf "interpreter guest-MIPS speedup vs. reference decoder: %.2fx (target >= 3x)\n"
     interp_speedup;
+  Printf.printf
+    "block engine vs. icache: %.2fx on the microbench (target >= 2x); %d blocks \
+     compiled, %d cache hits, %d invalidations\n"
+    block_vs_icache block_compiled block_hits block_invalidations;
   let host_cores = Domain.recommended_domain_count () in
   let par_variants = [ 2; 4 ] in
   let par_rows =
@@ -872,6 +911,21 @@ let report_hostperf ?(path = "BENCH_results.json") () =
           ([
              mode "interpreter" interp_instr interp_ref interp_fast interp_speedup;
              mode "monitor_2variant" mon_instr mon_ref mon_fast mon_speedup;
+             ( "block",
+               Json.Obj
+                 [
+                   ("instructions", Json.Num (float_of_int block_instr));
+                   ("mips", Json.Num interp_block);
+                   ("icache_mips", Json.Num interp_fast);
+                   ("reference_mips", Json.Num interp_ref);
+                   ("speedup_vs_icache", Json.Num block_vs_icache);
+                   ("speedup_vs_reference", Json.Num (interp_block /. interp_ref));
+                   ("monitor_mips", Json.Num mon_block);
+                   ("monitor_speedup_vs_icache", Json.Num mon_block_vs_icache);
+                   ("compiled_blocks", Json.Num (float_of_int block_compiled));
+                   ("block_hits", Json.Num (float_of_int block_hits));
+                   ("invalidations", Json.Num (float_of_int block_invalidations));
+                 ] );
              ( "trace_overhead",
                Json.Obj
                  [

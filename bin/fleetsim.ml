@@ -81,6 +81,25 @@ let parallel_arg =
            sequentially ($(b,off)). Defaults to $(b,NV_PARALLEL). The fleet \
            report is bit-identical either way.")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("reference", Nv_vm.Memory.Reference);
+             ("icache", Nv_vm.Memory.Icache);
+             ("block", Nv_vm.Memory.Block);
+           ])
+        (Nv_vm.Memory.default_engine ())
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution tier the profiled server runs under: $(b,reference), \
+           $(b,icache) or $(b,block). The fleet report derives from \
+           engine-independent instruction counts, so this only changes \
+           profiling wall-clock time. Defaults to $(b,NV_ENGINE), falling \
+           back to $(b,icache).")
+
 let metrics_arg =
   Arg.(
     value
@@ -121,7 +140,7 @@ let log_level_arg =
            $(b,info) adds recovery detail.")
 
 let run config replicas rate arrival burst_mean amplitude duration users guest_users
-    attacks seed parallel metrics trace_out log_level =
+    attacks seed parallel engine metrics trace_out log_level =
   (match log_level with
   | None -> ()
   | Some level -> Nv_util.Logsrc.setup ~level ());
@@ -132,7 +151,7 @@ let run config replicas rate arrival burst_mean amplitude duration users guest_u
     | `Diurnal ->
       Nv_sim.Arrivals.Diurnal { rate; amplitude; period_s = duration /. 2.0 }
   in
-  let built = Nv_httpd.Deploy.build ~parallel ~users:guest_users config in
+  let built = Nv_httpd.Deploy.build ~parallel ~engine ~users:guest_users config in
   match built with
   | Error message ->
     Printf.eprintf "fleetsim: %s\n" message;
@@ -218,6 +237,7 @@ let cmd =
     Term.(
       const run $ config_arg $ replicas_arg $ rate_arg $ arrival_arg $ burst_mean_arg
       $ amplitude_arg $ duration_arg $ users_arg $ guest_users_arg $ attacks_arg
-      $ seed_arg $ parallel_arg $ metrics_arg $ trace_out_arg $ log_level_arg)
+      $ seed_arg $ parallel_arg $ engine_arg $ metrics_arg $ trace_out_arg
+      $ log_level_arg)
 
 let () = exit (Cmd.eval cmd)

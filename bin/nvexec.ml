@@ -80,6 +80,27 @@ let parallel_arg =
            to the $(b,NV_PARALLEL) environment variable (1 = on). Outcomes are \
            identical either way; only wall-clock time differs.")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("reference", Nv_vm.Memory.Reference);
+             ("icache", Nv_vm.Memory.Icache);
+             ("block", Nv_vm.Memory.Block);
+           ])
+        (Nv_vm.Memory.default_engine ())
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution tier for every variant: $(b,reference) (byte-at-a-time \
+           decoder), $(b,icache) (predecoded instruction cache) or $(b,block) \
+           (basic-block superinstruction compiler). All three are \
+           observationally identical — same outcomes, alarms and instruction \
+           counts — so pinning a tier is for differential debugging and \
+           performance comparison. Defaults to the $(b,NV_ENGINE) environment \
+           variable, falling back to $(b,icache).")
+
 let recover_arg =
   Arg.(
     value
@@ -111,7 +132,8 @@ let read_file path =
   close_in ic;
   s
 
-let run variation file trace trace_out fuel no_runtime mode metrics parallel recover =
+let run variation file trace trace_out fuel no_runtime mode metrics parallel engine
+    recover =
   let source = read_file file in
   let source = if no_runtime then source else Nv_minic.Runtime.with_runtime source in
   match Nv_transform.Uid_transform.transform_source ~mode ~variation source with
@@ -126,7 +148,7 @@ let run variation file trace trace_out fuel no_runtime mode metrics parallel rec
         (fun n -> { Nv_core.Supervisor.default_config with max_recoveries = n })
         recover
     in
-    let sys = Nv_core.Nsystem.create ~parallel ?recover ~variation images in
+    let sys = Nv_core.Nsystem.create ~parallel ~engine ?recover ~variation images in
     let monitor = Nv_core.Nsystem.monitor sys in
     let session = Nv_core.Monitor.trace_session monitor in
     if trace || trace_out <> None then Nv_util.Trace.set_enabled session true;
@@ -204,6 +226,7 @@ let cmd =
     (Cmd.info "nvexec" ~doc)
     Term.(
       const run $ variation_arg $ file_arg $ trace_arg $ trace_out_arg $ fuel_arg
-      $ no_runtime_arg $ mode_arg $ metrics_arg $ parallel_arg $ recover_arg)
+      $ no_runtime_arg $ mode_arg $ metrics_arg $ parallel_arg $ engine_arg
+      $ recover_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -116,7 +116,7 @@ type t = {
    a by-name lookup (they only occur on unknown-syscall attacks). *)
 let syscall_slots = 32
 
-let create ?metrics ?parallel ?(segment_size = 1 lsl 20)
+let create ?metrics ?parallel ?engine ?(segment_size = 1 lsl 20)
     ?(stack_size = 64 * 1024) ~kernel ~variation images =
   let parallel =
     match parallel with Some b -> b | None -> Dompool.env_default ()
@@ -131,8 +131,14 @@ let create ?metrics ?parallel ?(segment_size = 1 lsl 20)
     Array.mapi
       (fun i image ->
         let spec = variation.Variation.variants.(i) in
-        Image.load ~stack_size image ~base:spec.Variation.base ~size:segment_size
-          ~tag:spec.Variation.tag)
+        let loaded =
+          Image.load ~stack_size image ~base:spec.Variation.base ~size:segment_size
+            ~tag:spec.Variation.tag
+        in
+        (* Every variant runs the same execution tier; unset, segments
+           keep their creation default (NV_ENGINE or the icache). *)
+        Option.iter (Memory.set_engine loaded.Image.memory) engine;
+        loaded)
       images
   in
   let metrics = match metrics with Some m -> m | None -> Kernel.metrics kernel in

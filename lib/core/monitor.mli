@@ -37,6 +37,7 @@ type t
 val create :
   ?metrics:Nv_util.Metrics.t ->
   ?parallel:bool ->
+  ?engine:Nv_vm.Memory.engine ->
   ?segment_size:int ->
   ?stack_size:int ->
   kernel:Nv_os.Kernel.t ->
@@ -60,7 +61,11 @@ val create :
     outcomes, alarms, final registers/memory, and metric values as
     sequential mode (enforced by [test/test_parallel.ml]). Defaults to
     the [NV_PARALLEL] environment variable
-    ({!Nv_util.Dompool.env_default}). *)
+    ({!Nv_util.Dompool.env_default}).
+
+    [engine] pins every variant segment's execution tier
+    ({!Nv_vm.Memory.engine}); when omitted, segments keep their
+    creation default ([NV_ENGINE] or the icache). *)
 
 val kernel : t -> Nv_os.Kernel.t
 

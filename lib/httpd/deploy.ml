@@ -29,19 +29,20 @@ let world ?users variation =
   Site.install vfs;
   vfs
 
-let build ?(log_uid = true) ?mode ?parallel ?recover ?users config =
+let build ?(log_uid = true) ?mode ?parallel ?engine ?recover ?users config =
   let variation = variation config in
   let vfs = world ?users variation in
   let source = Httpd_source.source ~log_uid () in
   match config with
   | Unmodified_single | Two_variant_address ->
     (match Nv_minic.Codegen.compile_source source with
-    | image -> Ok (Nsystem.of_one_image ~vfs ?parallel ?recover ~variation image)
+    | image -> Ok (Nsystem.of_one_image ~vfs ?parallel ?engine ?recover ~variation image)
     | exception Nv_minic.Codegen.Error message -> Error message)
   | Transformed_single | Two_variant_uid -> (
     match Ut.transform_source ?mode ~variation source with
     | Error _ as e -> e
-    | Ok (images, _report) -> Ok (Nsystem.create ~vfs ?parallel ?recover ~variation images))
+    | Ok (images, _report) ->
+      Ok (Nsystem.create ~vfs ?parallel ?engine ?recover ~variation images))
 
 let transform_report ?(log_uid = true) ?mode () =
   let source = Httpd_source.source ~log_uid () in

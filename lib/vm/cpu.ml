@@ -1,11 +1,14 @@
-type fault =
+(* The fault/trap types live in [Block] (which sits below this module
+   in the dependency order); the equations keep [Cpu.Segfault] etc.
+   valid for every existing user. *)
+type fault = Block.fault =
   | Segfault of { addr : int; access : Memory.access }
   | Bad_tag of { addr : int; found : int; expected : int }
   | Bad_instruction of { addr : int }
   | Division_fault of { addr : int }
   | Stack_fault of { addr : int }
 
-type trap = Syscall_trap | Halt_trap | Fault_trap of fault
+type trap = Block.trap = Syscall_trap | Halt_trap | Fault_trap of fault
 
 type outcome = Trapped of trap | Out_of_fuel
 
@@ -15,6 +18,7 @@ type t = {
   mutable pc : int;
   mutable retired : int;
   expected_tag : int;
+  mutable blocks : Block.cache option;  (* lazily created on first block run *)
 }
 
 let sp_index = 13
@@ -24,7 +28,7 @@ let fp_index = 12
 let create ?(expected_tag = 0) memory ~pc ~sp =
   let regs = Array.make 16 0 in
   regs.(sp_index) <- Word.mask sp;
-  { memory; regs; pc; retired = 0; expected_tag }
+  { memory; regs; pc; retired = 0; expected_tag; blocks = None }
 
 let memory t = t.memory
 
@@ -166,7 +170,7 @@ let step t =
       | result -> result
     end
 
-let run t ~fuel =
+let run_stepping t ~fuel =
   let rec loop remaining =
     if remaining <= 0 then Out_of_fuel
     else begin
@@ -174,6 +178,53 @@ let run t ~fuel =
     end
   in
   loop fuel
+
+let block_cache t =
+  match t.blocks with
+  | Some c -> c
+  | None ->
+    let c = Block.create t.memory t.regs ~expected_tag:t.expected_tag in
+    t.blocks <- Some c;
+    c
+
+(* Block-engine run loop: execute whole compiled blocks when one is
+   dispatchable from the current pc within the remaining fuel, and
+   fall back to the stepping interpreter for exactly one instruction
+   otherwise (unaligned pc, undecodable or wrong-tag entry — the step
+   raises the precise fault — or a block longer than the fuel left, so
+   a sliced [run ~fuel] retires exactly [fuel] instructions before
+   reporting [Out_of_fuel]). *)
+let run_blocks t ~fuel =
+  let cache = block_cache t in
+  let st = Block.scratch cache in
+  let rec loop remaining =
+    if remaining <= 0 then Out_of_fuel
+    else begin
+      match Block.find cache ~pc:t.pc ~remaining with
+      | None -> (
+        match step t with None -> loop (remaining - 1) | Some trap -> Trapped trap)
+      | Some cb ->
+        st.Block.st_budget <- remaining;
+        Block.exec cb st;
+        t.retired <- t.retired + st.Block.st_retired;
+        t.pc <- st.Block.st_pc;
+        (match st.Block.st_trap with
+        | None -> loop (remaining - st.Block.st_retired)
+        | Some trap -> Trapped trap)
+    end
+  in
+  loop fuel
+
+let run t ~fuel =
+  match Memory.engine t.memory with
+  | Memory.Block -> run_blocks t ~fuel
+  | Memory.Reference | Memory.Icache -> run_stepping t ~fuel
+
+let block_stats t =
+  match t.blocks with
+  | None -> (0, 0, Memory.block_invalidations t.memory)
+  | Some c ->
+    (Block.compiled_blocks c, Block.hits c, Memory.block_invalidations t.memory)
 
 let pp_fault ppf = function
   | Segfault { addr; access } ->

@@ -9,7 +9,7 @@
     The [expected_tag] implements the instruction-set-tagging variation:
     every fetched instruction's tag byte must equal it. *)
 
-type fault =
+type fault = Block.fault =
   | Segfault of { addr : int; access : Memory.access }
       (** Access outside the variant's segment — the alarm state of
           address-space partitioning. *)
@@ -20,7 +20,7 @@ type fault =
   | Division_fault of { addr : int }
   | Stack_fault of { addr : int }  (** push/pop outside the segment *)
 
-type trap =
+type trap = Block.trap =
   | Syscall_trap  (** [Syscall] executed; ABI registers hold the call. *)
   | Halt_trap
   | Fault_trap of fault
@@ -70,7 +70,19 @@ val step : t -> trap option
     pc at the faulting instruction. *)
 
 val run : t -> fuel:int -> outcome
-(** Execute until a trap or until [fuel] instructions have retired. *)
+(** Execute until a trap or until [fuel] instructions have retired.
+    The execution tier is the segment's {!Memory.engine}: under
+    [Block] the hot path runs whole compiled basic blocks (see
+    {!Block}), falling back to {!step} whenever no block is
+    dispatchable; under [Reference]/[Icache] it single-steps. All
+    three tiers retire the same instructions, trap at the same pcs,
+    and never overrun [fuel]. *)
+
+val block_stats : t -> int * int * int
+(** [(compiled, hits, invalidations)] for the block engine: blocks
+    compiled, dispatches served from the cache, and registered blocks
+    invalidated by stores or rollbacks. All zero until the first
+    block-engine {!run}. *)
 
 val pp_fault : Format.formatter -> fault -> unit
 val pp_trap : Format.formatter -> trap -> unit

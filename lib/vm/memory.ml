@@ -7,18 +7,70 @@ exception Fault of { addr : int; access : access }
    is an array load; stores into the window reset it to [Not_decoded]. *)
 type icache_slot = Not_decoded | Cached of (int * Isa.t, Isa.decode_error) result
 
+type engine = Reference | Icache | Block
+
+(* A compiled basic block registered over the slot span
+   [entry slot, be_end). [be_valid] is shared with the compiled closure
+   on the CPU side: flipping it to [false] both retires the cache entry
+   and makes an in-flight execution of the block bail out after the
+   store that hit it. *)
+type block_entry = { be_end : int; be_valid : bool ref }
+
+type block_registry = {
+  entries : block_entry option array;  (* keyed by block-entry slot *)
+  cover : int array;  (* per slot: how many live blocks span it *)
+}
+
 type t = {
   base : int;
   size : int;
   data : Bytes.t;
   mutable icache : icache_slot array option;  (* lazily created on first fetch *)
-  mutable icache_enabled : bool;
+  mutable engine : engine;
+  mutable blockreg : block_registry option;  (* lazily created on first compile *)
+  mutable block_invalidations : int;
+  (* Watermark of slots ever filled into the icache (empty when
+     [wm_hi < wm_lo]). Decoded state — cached slots and registered
+     blocks — only ever exists inside it, so a store outside the
+     watermark (stack and heap traffic, the overwhelmingly common
+     case) skips all invalidation with two compares. *)
+  mutable wm_lo : int;
+  mutable wm_hi : int;
 }
+
+let engine_of_string = function
+  | "reference" -> Some Reference
+  | "icache" -> Some Icache
+  | "block" -> Some Block
+  | _ -> None
+
+let engine_to_string = function
+  | Reference -> "reference"
+  | Icache -> "icache"
+  | Block -> "block"
+
+(* NV_ENGINE pins the execution tier for a whole process (the CI matrix
+   runs the full test tree under NV_ENGINE=block); unset or unknown
+   values fall back to the predecoded icache, the pre-block default. *)
+let default_engine () =
+  match Sys.getenv_opt "NV_ENGINE" with
+  | None -> Icache
+  | Some s -> ( match engine_of_string s with Some e -> e | None -> Icache)
 
 let create ~base ~size =
   if base < 0 || size < 0 || base + size > 0x1_0000_0000 then
     invalid_arg "Memory.create: segment outside the 32-bit address space";
-  { base; size; data = Bytes.make size '\000'; icache = None; icache_enabled = true }
+  {
+    base;
+    size;
+    data = Bytes.make size '\000';
+    icache = None;
+    engine = default_engine ();
+    blockreg = None;
+    block_invalidations = 0;
+    wm_lo = max_int;
+    wm_hi = -1;
+  }
 
 let base t = t.base
 
@@ -44,6 +96,112 @@ let to_offset t addr =
   addr - t.base
 
 (* ------------------------------------------------------------------ *)
+(* Engine selection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let set_engine t engine = t.engine <- engine
+
+let engine t = t.engine
+
+let set_icache_enabled t enabled = t.engine <- (if enabled then Icache else Reference)
+
+(* Slot index = offset / instr_size, as a shift on the (non-negative)
+   validated offsets the hot paths pass in. *)
+let instr_shift = 3
+
+let () = assert (Isa.instr_size = 1 lsl instr_shift)
+
+let slot_count t = (t.size + Isa.instr_size - 1) lsr instr_shift
+
+(* ------------------------------------------------------------------ *)
+(* Compiled-block registry                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Upper bound on a compiled block's slot span. The store path only has
+   to back-scan this many entry slots to find a block that covers the
+   stored-into slot, so the bound keeps invalidation O(cap) in the worst
+   case and O(1) on the common data-store path (cover count is zero). *)
+let max_block_slots = 64
+
+let block_invalidations t = t.block_invalidations
+
+let blockreg t =
+  match t.blockreg with
+  | Some reg -> reg
+  | None ->
+    let n = slot_count t in
+    let reg = { entries = Array.make n None; cover = Array.make n 0 } in
+    t.blockreg <- Some reg;
+    reg
+
+let unregister reg slot =
+  match reg.entries.(slot) with
+  | None -> ()
+  | Some { be_end; be_valid } ->
+    be_valid := false;
+    for s = slot to be_end - 1 do
+      reg.cover.(s) <- reg.cover.(s) - 1
+    done;
+    reg.entries.(slot) <- None
+
+let register_block t ~slot ~slots =
+  if slots < 1 || slots > max_block_slots then
+    invalid_arg "Memory.register_block: span out of range";
+  let reg = blockreg t in
+  if slot < 0 || slot + slots > Array.length reg.cover then
+    invalid_arg "Memory.register_block: slot out of range";
+  unregister reg slot;
+  let be_valid = ref true in
+  reg.entries.(slot) <- Some { be_end = slot + slots; be_valid };
+  for s = slot to slot + slots - 1 do
+    reg.cover.(s) <- reg.cover.(s) + 1
+  done;
+  (* The store path only looks at slots inside the decoded watermark;
+     grow it so the invariant holds even for spans registered without a
+     prior decode. *)
+  if slot < t.wm_lo then t.wm_lo <- slot;
+  if slot + slots - 1 > t.wm_hi then t.wm_hi <- slot + slots - 1;
+  be_valid
+
+(* Invalidate every registered block whose span intersects slots
+   [lo, hi]. The cover counts make the no-block case (every store into
+   plain data) a handful of array loads; only when a store actually
+   lands under a compiled block do we back-scan the bounded window of
+   entry slots that could span it. *)
+let invalidate_blocks t lo hi =
+  match t.blockreg with
+  | None -> ()
+  | Some reg ->
+    let last = Array.length reg.cover - 1 in
+    let hi = min hi last in
+    let covered = ref false in
+    for s = lo to hi do
+      if reg.cover.(s) > 0 then covered := true
+    done;
+    if !covered then
+      for e = max 0 (lo - max_block_slots + 1) to hi do
+        match reg.entries.(e) with
+        | Some { be_end; _ } when be_end > lo ->
+          unregister reg e;
+          t.block_invalidations <- t.block_invalidations + 1
+        | _ -> ()
+      done
+
+let invalidate_icache t off len =
+  let lo = off lsr instr_shift in
+  let hi = (off + len - 1) lsr instr_shift in
+  if lo <= t.wm_hi && hi >= t.wm_lo then begin
+    (match t.icache with
+    | None -> ()
+    | Some cache ->
+      let hi = min hi (Array.length cache - 1) in
+      for i = lo to hi do
+        cache.(i) <- Not_decoded
+      done);
+    invalidate_blocks t lo hi
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Checkpointing                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -55,32 +213,27 @@ let restore t snap =
   if Bytes.length snap <> t.size then
     invalid_arg "Memory.restore: snapshot is for a different segment size";
   Bytes.blit snap 0 t.data 0 t.size;
-  (* The rolled-back bytes may differ anywhere in the segment, so the
-     whole decode cache is invalid; drop it and let fetches refill it
-     lazily, exactly as on first execution. *)
-  t.icache <- None
-
-(* ------------------------------------------------------------------ *)
-(* Predecoded-instruction cache                                        *)
-(* ------------------------------------------------------------------ *)
-
-let set_icache_enabled t enabled = t.icache_enabled <- enabled
-
-(* Slot index = offset / instr_size, as a shift on the (non-negative)
-   validated offsets the hot paths pass in. *)
-let instr_shift = 3
-
-let () = assert (Isa.instr_size = 1 lsl instr_shift)
-
-let invalidate_icache t off len =
-  match t.icache with
+  (* The rolled-back bytes may differ anywhere in the segment, so every
+     cached decode and compiled block is suspect. Keep the allocated
+     slot array — recovery campaigns roll back constantly and
+     reallocating it each time churns the major heap — and bulk-reset
+     it instead. *)
+  (match t.icache with
   | None -> ()
-  | Some cache ->
-    let lo = off lsr instr_shift in
-    let hi = min ((off + len - 1) lsr instr_shift) (Array.length cache - 1) in
-    for i = lo to hi do
-      cache.(i) <- Not_decoded
-    done
+  | Some cache -> Array.fill cache 0 (Array.length cache) Not_decoded);
+  t.wm_lo <- max_int;
+  t.wm_hi <- -1;
+  match t.blockreg with
+  | None -> ()
+  | Some reg ->
+    Array.iteri
+      (fun slot entry ->
+        match entry with
+        | None -> ()
+        | Some _ ->
+          unregister reg slot;
+          t.block_invalidations <- t.block_invalidations + 1)
+      reg.entries
 
 let load_byte t addr =
   check t addr Read;
@@ -164,12 +317,12 @@ let fetch_reference t addr =
 let fetch_decoded t addr =
   let off = addr - t.base in
   if
-    (not t.icache_enabled)
+    t.engine = Reference
     || off < 0
     || off + Isa.instr_size > t.size
     || off land (Isa.instr_size - 1) <> 0
   then
-    (* Disabled, out of range (faults like the byte loop), or an
+    (* Reference engine, out of range (faults like the byte loop), or an
        unaligned fetch that would alias a cache slot: decode fresh. *)
     fetch_reference t addr
   else begin
@@ -177,7 +330,7 @@ let fetch_decoded t addr =
       match t.icache with
       | Some c -> c
       | None ->
-        let c = Array.make ((t.size + Isa.instr_size - 1) lsr instr_shift) Not_decoded in
+        let c = Array.make (slot_count t) Not_decoded in
         t.icache <- Some c;
         c
     in
@@ -187,5 +340,15 @@ let fetch_decoded t addr =
     | Not_decoded ->
       let r = Isa.decode_at t.data ~pos:off in
       cache.(idx) <- Cached r;
+      if idx < t.wm_lo then t.wm_lo <- idx;
+      if idx > t.wm_hi then t.wm_hi <- idx;
       r
   end
+
+(* ------------------------------------------------------------------ *)
+(* Raw access for the block compiler                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bytes t = t.data
+
+let invalidate_window = invalidate_icache

@@ -40,9 +40,12 @@ val snapshot : t -> snapshot
 
 val restore : t -> snapshot -> unit
 (** Overwrite the segment with the snapshot bytes and invalidate the
-    whole decoded-instruction cache (the rollback may change code
-    bytes, so every cached decode is suspect). Raises
-    [Invalid_argument] on a segment-size mismatch. *)
+    whole decoded-instruction cache and every registered compiled
+    block (the rollback may change code bytes, so every cached decode
+    is suspect). The slot array itself is kept and bulk-reset rather
+    than reallocated, so recovery-heavy campaigns do not churn the
+    major heap. Raises [Invalid_argument] on a segment-size
+    mismatch. *)
 
 val load_byte : t -> int -> int
 val store_byte : t -> int -> int -> unit
@@ -93,6 +96,73 @@ val fetch_reference : t -> int -> (int * Isa.t, Isa.decode_error) result
     [hostperf] benchmark as the pre-cache baseline; semantics are
     identical to {!fetch_decoded}. *)
 
+(** {1 Execution engine selection}
+
+    The VM has three execution tiers sharing one observable semantics:
+    the byte-at-a-time {!fetch_reference} decoder, the predecoded
+    icache, and the basic-block compiler (see [Block]). The segment
+    records which tier its CPU should run; [Block] implies the icache
+    for fetches that fall outside a compiled block. *)
+
+type engine = Reference | Icache | Block
+
+val set_engine : t -> engine -> unit
+
+val engine : t -> engine
+
+val engine_of_string : string -> engine option
+(** Parses ["reference" | "icache" | "block"]. *)
+
+val engine_to_string : engine -> string
+
+val default_engine : unit -> engine
+(** The engine newly created segments start in: [NV_ENGINE] when set to
+    a recognized name, otherwise {!Icache}. *)
+
 val set_icache_enabled : t -> bool -> unit
-(** Enable (default) or disable the decode cache; disabling routes
-    {!fetch_decoded} through {!fetch_reference}. *)
+(** Compatibility toggle predating {!set_engine}: [true] selects
+    {!Icache}, [false] selects {!Reference}. *)
+
+(** {1 Compiled-block registry}
+
+    The block compiler registers each compiled block's slot span here;
+    every store whose range intersects a registered span flips the
+    block's shared validity cell, so self-modifying and injected code
+    always re-enter the decoder (and the tag check) on their next
+    dispatch. *)
+
+val max_block_slots : int
+(** Upper bound on a registered block's span in slots; bounds the
+    store-path back-scan. *)
+
+val register_block : t -> slot:int -> slots:int -> bool ref
+(** Register a block spanning [slots] instruction slots starting at
+    entry slot [slot], replacing (and invalidating) any block
+    previously registered at that entry. Returns the shared validity
+    cell: it stays [true] until a store intersects the span, the
+    segment is {!restore}d, or the entry is re-registered. *)
+
+val block_invalidations : t -> int
+(** How many registered blocks have been invalidated by stores or
+    rollbacks since the segment was created. *)
+
+(** {1 Raw access for the block compiler}
+
+    Compiled blocks inline their guest loads and stores directly over
+    the backing bytes; anything out of range falls back to
+    {!load_word}/{!store_word} for the exact fault. These two values
+    exist only for that fast path — all other clients go through the
+    checked accessors above. *)
+
+val bytes : t -> Bytes.t
+(** The live backing store. The reference is stable for the lifetime of
+    the segment ({!restore} blits in place); offset [o] maps to address
+    [base + o]. Callers that write through it must follow with
+    {!invalidate_window}. *)
+
+val invalidate_window : t -> int -> int -> unit
+(** [invalidate_window t off len] performs the store-side cache
+    maintenance for a write of [len] bytes at segment offset [off]:
+    drops overlapped icache slots and invalidates intersecting
+    registered blocks. O(1) — two compares — for stores outside the
+    decoded region. *)

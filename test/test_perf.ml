@@ -1,13 +1,22 @@
-(* Performance-PR guarantees: the predecoded-instruction cache is
+(* Performance-PR guarantees: the execution tiers above the reference
+   decoder — the predecoded icache and the basic-block compiler — are
    semantically invisible.
 
    - A randomized differential test runs generated programs (including
-     self-modifying stores into executed code) on the cached and
-     reference interpreters in lockstep and asserts identical
-     registers, traps, retired counts, and memory contents.
+     self-modifying stores into executed code and wrongly-tagged
+     injected words) on the cached and reference interpreters in
+     lockstep and asserts identical registers, traps, retired counts,
+     and memory contents.
+   - A three-way sliced-run differential drives the same generated
+     programs through [Cpu.run] under all three engines with randomized
+     fuel slices, so block boundaries, mid-block fuel exhaustion and
+     mid-block faults are all crossed and compared state-for-state.
    - Explicit self-modifying-code tests prove precise invalidation on
      guest and host stores, and that injected code with a wrong
-     instruction tag still faults.
+     instruction tag still faults — under every engine.
+   - qcheck properties pin the block registry's invalidation contract
+     (a store intersecting a registered span flips its validity cell)
+     and the sliced-run equivalence.
    - A pinned regression asserts the bench report's demand/monitor
      counters are byte-identical to the committed BENCH_results.json
      baseline. *)
@@ -75,7 +84,7 @@ let gen_instr prng =
   | n when n < 98 -> Isa.Jmpr (r ())
   | _ -> Isa.Syscall
 
-let build_cpu ~icache program =
+let build_cpu ~engine program =
   let memory = Memory.create ~base ~size:seg_size in
   Array.iteri
     (fun i instr ->
@@ -83,7 +92,7 @@ let build_cpu ~icache program =
         ~addr:(base + (i * Isa.instr_size))
         (Isa.encode ~tag:0 instr))
     program;
-  Memory.set_icache_enabled memory icache;
+  Memory.set_engine memory engine;
   let cpu = Cpu.create memory ~pc:base ~sp:(base + seg_size) in
   Cpu.set_reg cpu 8 (data_base + 64);
   Cpu.set_reg cpu 9 (data_base + 512);
@@ -111,8 +120,8 @@ let check_lockstep_state ~seed ~step cached reference =
 let run_differential ~seed ~steps =
   let prng = Prng.create ~seed in
   let program = Array.init code_len (fun _ -> gen_instr prng) in
-  let cached_cpu, cached_mem = build_cpu ~icache:true program in
-  let ref_cpu, ref_mem = build_cpu ~icache:false program in
+  let cached_cpu, cached_mem = build_cpu ~engine:Memory.Icache program in
+  let ref_cpu, ref_mem = build_cpu ~engine:Memory.Reference program in
   let rec go step =
     if step < steps then begin
       let ct = Cpu.step cached_cpu in
@@ -136,6 +145,65 @@ let run_differential ~seed ~steps =
 let test_differential_random_programs () =
   for seed = 1 to 40 do
     run_differential ~seed ~steps:600
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Three-way sliced-run differential: reference / icache / block       *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive [Cpu.run] rather than [Cpu.step], since the block engine only
+   engages through [run]. Fuel is sliced randomly (1..9 instructions),
+   so slice boundaries constantly land mid-block, forcing the block
+   dispatcher into its stepping fallback; generated programs also store
+   into their own code through r10 (with arbitrary register values, so
+   the rewritten word's tag byte is usually wrong — exercising
+   wrong-tag injection against compiled blocks) and fault routinely
+   (jmpr through small scratch values). Every slice must leave all
+   three engines in bit-identical architectural state. *)
+let outcome_to_string = function
+  | Cpu.Trapped trap -> trap_to_string (Some trap)
+  | Cpu.Out_of_fuel -> "out of fuel"
+
+let run_differential_engines ~seed ~slices =
+  let prng = Prng.create ~seed in
+  let program = Array.init code_len (fun _ -> gen_instr prng) in
+  let ref_cpu, ref_mem = build_cpu ~engine:Memory.Reference program in
+  let ic_cpu, ic_mem = build_cpu ~engine:Memory.Icache program in
+  let bl_cpu, bl_mem = build_cpu ~engine:Memory.Block program in
+  let rec go slice =
+    if slice < slices then begin
+      let fuel = 1 + Prng.int prng 9 in
+      let ro = Cpu.run ref_cpu ~fuel in
+      let io = Cpu.run ic_cpu ~fuel in
+      let bo = Cpu.run bl_cpu ~fuel in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d slice %d: icache outcome" seed slice)
+        (outcome_to_string ro) (outcome_to_string io);
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d slice %d: block outcome" seed slice)
+        (outcome_to_string ro) (outcome_to_string bo);
+      check_lockstep_state ~seed ~step:slice ic_cpu ref_cpu;
+      check_lockstep_state ~seed ~step:slice bl_cpu ref_cpu;
+      match ro with
+      | Cpu.Out_of_fuel | Cpu.Trapped Cpu.Syscall_trap -> go (slice + 1)
+      | Cpu.Trapped Cpu.Halt_trap | Cpu.Trapped (Cpu.Fault_trap _) -> ()
+    end
+  in
+  go 0;
+  let dump m = Bytes.to_string (Memory.load_bytes m ~addr:base ~len:seg_size) in
+  let ref_dump = dump ref_mem in
+  Alcotest.(check bool)
+    (Printf.sprintf "seed %d: icache memory identical" seed)
+    true
+    (String.equal ref_dump (dump ic_mem));
+  Alcotest.(check bool)
+    (Printf.sprintf "seed %d: block memory identical" seed)
+    true
+    (String.equal ref_dump (dump bl_mem))
+
+let test_differential_engines () =
+  for seed = 100 to 140 do
+    run_differential_engines ~seed ~slices:200
   done
 
 (* ------------------------------------------------------------------ *)
@@ -169,41 +237,41 @@ let self_modifying_source ~patch_tag =
     |}
     (le_word patch 0) (le_word patch 4)
 
-let load_source ?(tag = 0) ~icache source =
+let all_engines = [ Memory.Reference; Memory.Icache; Memory.Block ]
+
+let load_source ?(tag = 0) ~engine source =
   let loaded = Image.load (Asm.assemble source) ~base:0x1000 ~size:0x10000 ~tag in
-  Memory.set_icache_enabled loaded.Image.memory icache;
+  Memory.set_engine loaded.Image.memory engine;
   loaded
 
 let test_smc_guest_store_invalidates () =
   List.iter
-    (fun icache ->
-      let loaded = load_source ~icache (self_modifying_source ~patch_tag:0) in
+    (fun engine ->
+      let loaded = load_source ~engine (self_modifying_source ~patch_tag:0) in
       (match Cpu.run loaded.Image.cpu ~fuel:1000 with
       | Cpu.Trapped Cpu.Halt_trap -> ()
       | Cpu.Trapped trap -> Alcotest.failf "unexpected trap: %a" Cpu.pp_trap trap
       | Cpu.Out_of_fuel -> Alcotest.fail "stale decode cache: patched loop never exited");
       Alcotest.(check int) "patched instruction executed" 42 (Cpu.reg loaded.Image.cpu 3))
-    [ true; false ]
+    all_engines
 
 let test_smc_injected_wrong_tag_faults () =
   (* Variant expects tag 1; the self-patch writes a tag-0 instruction
      (the attacker does not know the tag), so re-fetching the patched
-     slot must raise Bad_tag — identically with and without the cache. *)
+     slot must raise Bad_tag — identically under every engine. *)
   List.iter
-    (fun icache ->
-      let loaded =
-        load_source ~tag:1 ~icache (self_modifying_source ~patch_tag:0)
-      in
+    (fun engine ->
+      let loaded = load_source ~tag:1 ~engine (self_modifying_source ~patch_tag:0) in
       match Cpu.run loaded.Image.cpu ~fuel:1000 with
       | Cpu.Trapped (Cpu.Fault_trap (Cpu.Bad_tag { found = 0; expected = 1; _ })) -> ()
       | Cpu.Trapped trap -> Alcotest.failf "expected Bad_tag, got %a" Cpu.pp_trap trap
       | Cpu.Out_of_fuel -> Alcotest.fail "expected Bad_tag, ran out of fuel")
-    [ true; false ]
+    all_engines
 
 let test_smc_host_store_invalidates () =
   (* Warm the cache by running to halt, then overwrite the first
      instruction from the host side and re-run. *)
-  let loaded = load_source ~icache:true "mov r1, #1\nhalt" in
+  let loaded = load_source ~engine:Memory.Block "mov r1, #1\nhalt" in
   let { Image.cpu; memory; layout } = loaded in
   (match Cpu.run cpu ~fuel:10 with
   | Cpu.Trapped Cpu.Halt_trap -> ()
@@ -216,6 +284,49 @@ let test_smc_host_store_invalidates () =
   | Cpu.Trapped Cpu.Halt_trap -> ()
   | _ -> Alcotest.fail "second run should halt");
   Alcotest.(check int) "patched value observed" 2 (Cpu.reg cpu 1)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties: block-registry invalidation and run equivalence  *)
+(* ------------------------------------------------------------------ *)
+
+(* A store intersecting a registered block's slot span must flip the
+   block's shared validity cell (and count an invalidation); a store
+   anywhere else must leave it alone. This is the whole contract
+   between [Memory]'s store path and the block compiler — if it holds,
+   a compiled block can never execute stale bytes. *)
+let prop_store_invalidates_registered_span =
+  let slots = seg_size / Isa.instr_size in
+  QCheck.Test.make ~name:"store into a registered span invalidates the block"
+    ~count:1000
+    QCheck.(
+      quad
+        (int_bound (slots - Memory.max_block_slots - 1))
+        (int_range 1 Memory.max_block_slots)
+        (int_bound (seg_size - 5))
+        bool)
+    (fun (slot, span, store_off, word) ->
+      let memory = Memory.create ~base ~size:seg_size in
+      let valid = Memory.register_block memory ~slot ~slots:span in
+      let len = if word then 4 else 1 in
+      if word then Memory.store_word memory (base + store_off) 0xDEAD
+      else Memory.store_byte memory (base + store_off) 0xAD;
+      let lo = store_off / Isa.instr_size in
+      let hi = (store_off + len - 1) / Isa.instr_size in
+      let intersects = hi >= slot && lo < slot + span in
+      !valid = not intersects
+      && Memory.block_invalidations memory = (if intersects then 1 else 0))
+
+(* The sliced-run differential as a property over the program seed:
+   whatever program the seed generates — including mid-block faults,
+   fuel slices ending inside a block, and self-modifying stores — the
+   three engines stay state-identical. *)
+let prop_engines_agree_under_slicing =
+  QCheck.Test.make ~name:"reference/icache/block agree under random fuel slicing"
+    ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      run_differential_engines ~seed ~slices:80;
+      true)
 
 (* ------------------------------------------------------------------ *)
 (* Pinned bench counters                                               *)
@@ -267,7 +378,12 @@ let () =
         [
           Alcotest.test_case "cached vs reference interpreter (randomized)" `Quick
             test_differential_random_programs;
+          Alcotest.test_case "reference vs icache vs block, sliced runs" `Quick
+            test_differential_engines;
         ] );
+      ( "block properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_store_invalidates_registered_span; prop_engines_agree_under_slicing ] );
       ( "self-modifying code",
         [
           Alcotest.test_case "guest store invalidates decode cache" `Quick
