@@ -20,6 +20,31 @@ module Ut = Nv_transform.Uid_transform
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
+module Json = Nv_util.Metrics.Json
+
+(* BENCH_results.json is shared by the deterministic [bench] and
+   [matrix] reports and the wall-clock [hostperf] report: each updates
+   its own top-level keys and preserves the others', so one file
+   carries the pinned counters, the detection-coverage table and the
+   perf trajectory. *)
+let read_json_obj path =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Json.of_string s with Ok (Json.Obj fields) -> fields | Ok _ | Error _ -> []
+  end
+  else []
+
+let update_json_obj path updates =
+  let keep =
+    List.filter (fun (k, _) -> not (List.mem_assoc k updates)) (read_json_obj path)
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string (Json.Obj (keep @ updates)));
+  output_char oc '\n';
+  close_out oc
+
 (* ------------------------------------------------------------------ *)
 (* Table 1: reexpression functions and their properties                *)
 (* ------------------------------------------------------------------ *)
@@ -62,7 +87,41 @@ let report_table1 () =
     "known weakness: flipping only bit 31 of both stored values decodes to 0x%08X in \
      both variants (undetectable)\n"
     (r0.Reexpression.decode stored0);
-  assert (r0.Reexpression.decode stored0 = r1.Reexpression.decode stored1)
+  assert (r0.Reexpression.decode stored0 = r1.Reexpression.decode stored1);
+  (* The portfolio: every shipped variation passes the machine-checked
+     witnesses — inverse + declared form per variant, all-pairs
+     disjointness across variants. *)
+  print_newline ();
+  Printf.printf "portfolio witnesses (selfcheck per variant, all-pairs disjointness):\n";
+  List.iter
+    (fun (name, v) ->
+      let specs =
+        Array.map (fun s -> s.Variation.uid) v.Variation.variants
+      in
+      Array.iter
+        (fun spec ->
+          match Reexpression.selfcheck spec with
+          | Ok () -> ()
+          | Error x -> failwith (Printf.sprintf "%s: selfcheck failed at 0x%08X" name x))
+        specs;
+      (match Reexpression.all_pairs_disjoint specs with
+      | Ok () -> ()
+      | Error (i, j, _) ->
+        failwith (Printf.sprintf "%s: variants %d/%d not disjoint" name i j));
+      Printf.printf "  %-22s %d variants: inverse OK, all pairs PROVEN disjoint\n" name
+        (Variation.count v))
+    Variation.portfolio;
+  (* And the regression the per-variant keys fix: the pre-fix shared
+     key loses disjointness for the (1, 2) pair. *)
+  (match
+     Reexpression.all_pairs_disjoint
+       (Array.map (fun s -> s.Variation.uid) (Variation.shared_key 3).Variation.variants)
+   with
+  | Error (1, 2, Some x) ->
+    Printf.printf
+      "  %-22s REFUTED: pre-fix shared key collides on pair (1,2) at 0x%08X\n"
+      "uid-shared-key-3" x
+  | _ -> failwith "shared_key 3 unexpectedly passed the disjointness witness")
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: detection system calls                                     *)
@@ -254,14 +313,29 @@ let report_changes () =
 (* X2: attack matrix                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let report_matrix () =
+let report_matrix ?(path = "BENCH_results.json") () =
   section "X2: Attack Class x Configuration Detection Matrix";
   let matrix = Nv_attacks.Campaign.run_matrix () in
   print_string (Nv_attacks.Campaign.render_matrix matrix);
   print_endline
-    "expected story: UID corruption defeats every deployment except config4;\n\
-     the bit-31 row reproduces the paper's admitted reexpression-key escape;\n\
-     code injection is stopped by the address partition (configs 3 and 4).";
+    "expected story: UID corruption defeats every deployment except the diversified\n\
+     ones; the bit-31 row reproduces the paper's admitted reexpression-key escape\n\
+     (closed by the rotation component of composed3/composed4); the guessed-key row\n\
+     escalates wherever non-zero variants share one fixed key (config4's published\n\
+     key, sharedkey3's pre-fix bug) and is caught by per-variant and per-boot keys;\n\
+     the zero-injection row defeats bare rotations (rotonly3) but no composition;\n\
+     code injection is stopped by the address partition.";
+  let composed_undetected =
+    List.filter
+      (fun (_, config, _) ->
+        List.mem config [ Deploy.Composed_three; Deploy.Composed_four ])
+      (Nv_attacks.Campaign.undetected_cells matrix)
+  in
+  Printf.printf "undetected cells in the composed3/composed4 columns: %d\n"
+    (List.length composed_undetected);
+  update_json_obj path
+    [ ("attack_matrix", Nv_attacks.Campaign.matrix_json matrix) ];
+  Printf.printf "attack_matrix written to %s\n" path;
   section "X2b: Same Matrix Under the Recovery Supervisor";
   let recovered =
     Nv_attacks.Campaign.run_matrix ~recover:Nv_core.Supervisor.default_config ()
@@ -349,8 +423,6 @@ let report_ablation () =
 (* BENCH_results.json: machine-readable per-configuration results      *)
 (* ------------------------------------------------------------------ *)
 
-module Json = Nv_util.Metrics.Json
-
 let json_of_webbench (r : Nv_workload.Webbench.result) =
   Json.Obj
     [
@@ -364,28 +436,6 @@ let json_of_webbench (r : Nv_workload.Webbench.result) =
     ]
 
 let bench_requests = 12
-
-(* BENCH_results.json is shared by the deterministic [bench] report and
-   the wall-clock [hostperf] report: each updates its own top-level
-   keys and preserves the other's, so one file carries both the pinned
-   counters and the perf trajectory. *)
-let read_json_obj path =
-  if Sys.file_exists path then begin
-    let ic = open_in_bin path in
-    let s = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    match Json.of_string s with Ok (Json.Obj fields) -> fields | Ok _ | Error _ -> []
-  end
-  else []
-
-let update_json_obj path updates =
-  let keep =
-    List.filter (fun (k, _) -> not (List.mem_assoc k updates)) (read_json_obj path)
-  in
-  let oc = open_out path in
-  output_string oc (Json.to_string (Json.Obj (keep @ updates)));
-  output_char oc '\n';
-  close_out oc
 
 (* ------------------------------------------------------------------ *)
 (* fleet: open-loop serving at a million-user population               *)
@@ -458,7 +508,10 @@ let report_fleet ?(path = "BENCH_results.json") () =
       let entries =
         Nv_workload.Openload.population ~seed:fleet_seed ~users:fleet_users ()
       in
-      let _vfs, sizes = Nv_workload.Openload.passwd_world ~entries ~variants in
+      let _vfs, sizes =
+        Nv_workload.Openload.passwd_world ~entries
+          ~variation:(Deploy.variation Deploy.Two_variant_uid)
+      in
       Printf.printf "  unshared variant files:";
       Array.iteri (fun i n -> Printf.printf " /etc/passwd-%d %d B" i n) sizes;
       print_newline ();
@@ -1066,7 +1119,7 @@ let reports =
     ("figure1", report_figure1);
     ("figure2", report_figure2);
     ("table-changes", report_changes);
-    ("matrix", report_matrix);
+    ("matrix", fun () -> report_matrix ());
     ("ablation", report_ablation);
     ("bench", fun () -> report_bench ());
     ("fleet", fun () -> report_fleet ());
@@ -1082,6 +1135,7 @@ let () =
   | [ _; "bench"; path ] -> report_bench ~path ()
   | [ _; "fleet"; path ] -> report_fleet ~path ()
   | [ _; "hostperf"; path ] -> report_hostperf ~path ()
+  | [ _; "matrix"; path ] -> report_matrix ~path ()
   | [ _; name ] -> (
     match List.assoc_opt name reports with
     | Some f -> f ()
@@ -1091,5 +1145,6 @@ let () =
       exit 2)
   | _ ->
     prerr_endline
-      "usage: main.exe [report|micro|all] | bench [path] | fleet [path] | hostperf [path]";
+      "usage: main.exe [report|micro|all] | bench [path] | fleet [path] | hostperf \
+       [path] | matrix [path]";
     exit 2

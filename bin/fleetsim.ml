@@ -197,7 +197,10 @@ let run config replicas rate arrival burst_mean amplitude duration users guest_u
         output_char oc '\n';
         close_out oc
       | _ -> ());
-      let _vfs, sizes = Nv_workload.Openload.passwd_world ~entries ~variants in
+      let _vfs, sizes =
+        Nv_workload.Openload.passwd_world ~entries
+          ~variation:(Nv_httpd.Deploy.variation config)
+      in
       let r = result.Nv_workload.Openload.fleet in
       Format.printf "fleet: %d replicas, %s arrivals at %.0f req/s, %.1f s horizon (%s)@."
         replicas r.Nv_sim.Fleet.model rate duration (Nv_httpd.Deploy.name config);

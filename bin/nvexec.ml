@@ -13,6 +13,14 @@ let variations =
     ("address-partition", Nv_core.Variation.address_partition);
     ("instruction-tagging", Nv_core.Variation.instruction_tagging);
     ("uid-diversity", Nv_core.Variation.uid_diversity);
+    ("full-diversity", Nv_core.Variation.full_diversity);
+    ("uid-diversity-3", Nv_core.Variation.uid_diversity_n 3);
+    ("uid-diversity-4", Nv_core.Variation.uid_diversity_n 4);
+    ("full-diversity-3", Nv_core.Variation.full_diversity_n 3);
+    ("full-diversity-4", Nv_core.Variation.full_diversity_n 4);
+    ("seeded-diversity-3", Nv_core.Variation.seeded_diversity ~seed:0xB007 3);
+    ("rotation-diversity-3", Nv_core.Variation.rotation_diversity 3);
+    ("add-diversity-3", Nv_core.Variation.add_diversity 3);
   ]
 
 let variation_arg =

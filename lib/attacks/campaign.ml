@@ -35,7 +35,12 @@ let pp_verdict ppf = function
       last_alarm
   | No_effect -> Format.pp_print_string ppf "no effect"
 
-type attack = { name : string; description : string; run : Nsystem.t -> verdict }
+type attack = {
+  name : string;
+  description : string;
+  assumes_keys : bool;
+  run : Nsystem.t -> verdict;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Driving helpers                                                     *)
@@ -104,6 +109,7 @@ let baseline_request =
   {
     name = "baseline-request";
     description = "control row: a benign GET / (no attack)";
+    assumes_keys = false;
     run =
       (fun sys ->
         match send sys (Http.get "/") with
@@ -120,6 +126,7 @@ let overflow_attack ~name ~description ~url =
   {
     name;
     description;
+    assumes_keys = false;
     run =
       (fun sys ->
         match send sys (Http.get url) with
@@ -151,6 +158,7 @@ let bit_attack ~name ~description ~bit ~value =
   {
     name;
     description;
+    assumes_keys = false;
     run =
       (fun sys ->
         (* Park the server on accept, inject the fault, then probe. *)
@@ -181,6 +189,7 @@ let stack_code_injection =
     description =
       "stack smash via the auth token: return address redirected to machine code in the \
        request buffer that opens and exfiltrates /secret/shadow";
+    assumes_keys = false;
     run =
       (fun sys ->
         (* The payload embeds variant-0 absolute addresses, so the
@@ -202,6 +211,51 @@ let stack_code_injection =
         | Monitor.Out_of_fuel -> Crashed "fuel exhausted at startup");
   }
 
+let injection_attack ~name ~description ~assumes_keys ~value =
+  {
+    name;
+    description;
+    assumes_keys;
+    run =
+      (fun sys ->
+        match Nsystem.run sys with
+        | Monitor.Blocked_on_accept ->
+          Payloads.inject_stored_uid ~value sys;
+          classify_after_corruption sys
+        | Monitor.Alarm reason -> Detected reason
+        | Monitor.Exited status -> Crashed (Printf.sprintf "exited %d at startup" status)
+        | Monitor.Out_of_fuel -> Crashed "fuel exhausted at startup");
+  }
+
+(* The regression attack for the shared-key bug: the attacker has read
+   the paper (or the pre-fix source) and writes into each variant the
+   published portfolio's encoding of root — identity for variant 0,
+   the one shared key for everyone else. Under any shared-key
+   deployment every variant decodes to 0 and the escalation sails
+   through; one per-variant (or per-boot) key makes the guess wrong in
+   at least one variant and the next UID-bearing call diverges. *)
+let uid_guessed_key_injection =
+  injection_attack ~name:"uid-guessed-key-injection"
+    ~description:
+      "key-compromise fault: write each variant's guess of encode(0) using the \
+       published shared key (variant 0 <- 0, variants >= 1 <- 0x7FFFFFFF) - \
+       undetected wherever all non-zero variants share that key"
+    ~assumes_keys:true
+    ~value:(fun i -> if i = 0 then 0 else Nv_core.Reexpression.paper_uid_key)
+
+(* The single-axis defeat for bare rotations: every rotation fixes 0,
+   so a blind zeroing fault decodes to root in every rotation-only
+   variant at once. Any XOR or additive component breaks the
+   agreement. *)
+let uid_zero_injection =
+  injection_attack ~name:"uid-zero-injection"
+    ~description:
+      "blind zeroing fault: write 0 over the stored worker_uid word in every \
+       variant (same bytes everywhere) - defeats any reexpression with a fixed \
+       point at 0, e.g. bare rotations"
+    ~assumes_keys:false
+    ~value:(fun _ -> 0)
+
 let attacks =
   [
     baseline_request;
@@ -210,6 +264,8 @@ let attacks =
     uid_three_bytes;
     uid_bit_set_low;
     uid_bit_set_high;
+    uid_guessed_key_injection;
+    uid_zero_injection;
     stack_code_injection;
   ]
 
@@ -279,7 +335,7 @@ type matrix = (attack * (Deploy.config * verdict) list) list
 (* Each (attack, config) cell builds its own fresh system, so the
    cells are independent; under [parallel] they are fanned out on the
    shared domain pool and reassembled in matrix order. *)
-let run_matrix ?parallel ?recover ?(attacks = attacks) ?(configs = Deploy.all) () =
+let run_matrix ?parallel ?recover ?(attacks = attacks) ?(configs = Deploy.matrix) () =
   let parallel =
     match parallel with Some b -> b | None -> Nv_util.Dompool.env_default ()
   in
@@ -312,3 +368,44 @@ let render_matrix matrix =
       matrix
   in
   Nv_util.Tablefmt.render ~header ~rows ()
+
+(* An undetected cell is one where the attacker gained something the
+   monitor never saw: escalation or silent corruption. The control row
+   is excluded — it attacks nothing. *)
+let undetected_cells matrix =
+  List.concat_map
+    (fun (attack, cells) ->
+      if attack.name = baseline_request.name then []
+      else
+        List.filter_map
+          (fun (config, verdict) ->
+            match verdict with
+            | Escalated _ | Corrupted_undetected -> Some (attack, config, verdict)
+            | Detected _ | Crashed _ | Recovered _ | No_effect -> None)
+          cells)
+    matrix
+
+let matrix_json matrix =
+  let module Json = Nv_util.Metrics.Json in
+  let cells =
+    List.map
+      (fun (attack, cells) ->
+        ( attack.name,
+          Json.Obj
+            (List.map
+               (fun (config, verdict) -> (Deploy.name config, Json.Str (verdict_label verdict)))
+               cells) ))
+      matrix
+  in
+  let undetected =
+    List.map
+      (fun (attack, config, verdict) ->
+        Json.Obj
+          [
+            ("attack", Json.Str attack.name);
+            ("config", Json.Str (Deploy.name config));
+            ("verdict", Json.Str (verdict_label verdict));
+          ])
+      (undetected_cells matrix)
+  in
+  Json.Obj [ ("cells", Json.Obj cells); ("undetected", Json.List undetected) ]

@@ -34,6 +34,14 @@ val pp_verdict : Format.formatter -> verdict -> unit
 type attack = {
   name : string;
   description : string;
+  assumes_keys : bool;
+      (** The attack computes per-variant values from {e guessed}
+          reexpression keys — a strictly stronger, key-compromise
+          threat model than the paper's single-channel attacker.
+          Deployments with fixed published keys (including the paper's
+          own two-variant configuration) are expected to lose to it;
+          per-boot seeded and per-variant keys are what defeat it, so
+          headline gates on the single-channel rows must exempt it. *)
   run : Nv_core.Nsystem.t -> verdict;
 }
 
@@ -49,6 +57,14 @@ val attacks : attack list
       word in every variant;
     - [uid-bit-set-high]: hardware fault forcing bit 31 — the paper's
       reexpression-key escape;
+    - [uid-guessed-key-injection]: key-compromise fault writing each
+      variant's guess of [encode 0] under the {e published shared
+      key} — escalates undetected wherever all non-zero variants
+      share that key (the pre-fix [uid_diversity_n] bug's regression
+      row) and is caught by per-variant or per-boot keys;
+    - [uid-zero-injection]: blind zeroing fault (same bytes in every
+      variant) — defeats any reexpression family with a common fixed
+      point at 0, e.g. bare rotations;
     - [stack-code-injection]: stack smash redirecting the return into
       machine code carried by the request. *)
 
@@ -101,11 +117,24 @@ val run_matrix :
   ?configs:Nv_httpd.Deploy.config list ->
   unit ->
   matrix
-(** Every attack against every configuration. Cells are independent
-    (each builds a fresh system); under [parallel] (default:
-    [NV_PARALLEL]) they run concurrently on the shared domain pool,
-    with results reassembled in deterministic matrix order. [recover]
-    as in {!run_attack} (recovered-vs-halted comparison). *)
+(** Every attack against every configuration (default:
+    {!Nv_httpd.Deploy.matrix} — the four Table 3 columns plus the
+    N=3/4 portfolio columns). Cells are independent (each builds a
+    fresh system); under [parallel] (default: [NV_PARALLEL]) they run
+    concurrently on the shared domain pool, with results reassembled
+    in deterministic matrix order. [recover] as in {!run_attack}
+    (recovered-vs-halted comparison). *)
 
 val render_matrix : matrix -> string
 (** Table: attacks as rows, configurations as columns. *)
+
+val undetected_cells : matrix -> (attack * Nv_httpd.Deploy.config * verdict) list
+(** The cells where the attacker won without an alarm ({!Escalated} or
+    {!Corrupted_undetected}), control row excluded — the list CI gates
+    on being empty for the composed columns. *)
+
+val matrix_json : matrix -> Nv_util.Metrics.Json.value
+(** The detection-coverage table as JSON:
+    [{"cells": {attack: {config: label}}, "undetected": [...]}] — the
+    object the bench writes under ["attack_matrix"] in
+    BENCH_results.json. *)

@@ -37,6 +37,14 @@ let flip_stored_uid_bit ~bit ~value sys =
     Memory.store_word loaded.Image.memory addr updated
   done
 
+let inject_stored_uid ~value sys =
+  let monitor = Nsystem.monitor sys in
+  for i = 0 to Monitor.variant_count monitor - 1 do
+    let loaded = Monitor.loaded monitor i in
+    Memory.store_word loaded.Image.memory (uid_symbol_addr loaded)
+      (Word.mask (value i))
+  done
+
 let read_stored_uid sys ~variant =
   let loaded = Monitor.loaded (Nsystem.monitor sys) variant in
   Memory.load_word loaded.Image.memory (uid_symbol_addr loaded)

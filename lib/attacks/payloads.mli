@@ -42,6 +42,14 @@ val flip_stored_uid_bit :
     effect everywhere). [bit 31, value true] is the paper's high-bit
     escape; low bits are detected. *)
 
+val inject_stored_uid : value:(int -> Nv_vm.Word.t) -> Nv_core.Nsystem.t -> unit
+(** Write [value i] over variant [i]'s stored [worker_uid] word. With
+    a constant [value] this is the blind zeroing fault (same physical
+    bytes everywhere, like {!flip_stored_uid_bit}); with a per-variant
+    [value] it models the key-compromise attacker who computes each
+    variant's representation from {e guessed} reexpression keys — the
+    regression payload for the pre-fix shared-key deployments. *)
+
 val read_stored_uid : Nv_core.Nsystem.t -> variant:int -> Nv_vm.Word.t
 (** The concrete [worker_uid] word in a variant's memory (post-attack
     forensics for the campaign verdicts). *)

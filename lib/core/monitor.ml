@@ -116,7 +116,8 @@ type t = {
    a by-name lookup (they only occur on unknown-syscall attacks). *)
 let syscall_slots = 32
 
-let create ?metrics ?parallel ?engine ?(segment_size = 1 lsl 20)
+let create ?metrics ?parallel ?engine
+    ?(segment_size = Variation.default_segment_size)
     ?(stack_size = 64 * 1024) ~kernel ~variation images =
   let parallel =
     match parallel with Some b -> b | None -> Dompool.env_default ()

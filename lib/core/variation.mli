@@ -5,9 +5,12 @@
     address-space-partitioning dimension), its instruction tag (the
     instruction-set-tagging dimension) and its UID reexpression function
     (this paper's data-diversity dimension). A {!t} bundles the variant
-    specs with the set of unshared trusted files. The four predefined
+    specs with the set of unshared trusted files. The predefined
     configurations correspond to the evaluation's Table 3 columns and
-    the attack-matrix experiments. *)
+    the attack-matrix experiments; {!composed} builds arbitrary N >= 3
+    compositions of the three axes, and {!portfolio} lists every
+    shipped data-diversity configuration whose all-pairs disjointness
+    the test suite certifies. *)
 
 type variant_spec = {
   index : int;
@@ -31,6 +34,27 @@ val low_base : int
 val high_base : int
 (** 0x80010000 — variant 1's base under address partitioning: the high
     address bit is the partition bit. *)
+
+val default_segment_size : int
+(** [1 lsl 20] — the per-variant segment size {!Monitor.create}
+    assumes by default; staggered bases are validated against it. *)
+
+(** One diversity axis of a composed configuration. [Address] staggers
+    load bases (variant 0 at {!low_base}, variant [i >= 1] at
+    [high_base + (i-1) * segment_size]); [Tagging] gives variant [i]
+    instruction tag [i + 1]; [Uid fam] assigns variant [i] the
+    reexpression [fam.(i)]. *)
+type axis = Address | Tagging | Uid of Reexpression.t array
+
+val composed : ?name:string -> ?segment_size:int -> ?unshared:string list ->
+  n:int -> axis list -> t
+(** Compose diversity axes over [n] variants. When [Address] is
+    present the staggered bases are validated: every segment must fit
+    the 32-bit space and no two may overlap ([Invalid_argument]
+    otherwise). [unshared] defaults to [/etc/passwd] and [/etc/group]
+    when a [Uid] axis is present, empty otherwise. Raises
+    [Invalid_argument] if a [Uid] family has fewer than [n] entries or
+    [n < 1]. *)
 
 val single : t
 (** One variant, no diversity: the unprotected baseline
@@ -71,12 +95,55 @@ val full_diversity : t
     direction): address partitioning + instruction tagging + UID
     reexpression + unshared files, in two variants. *)
 
-val uid_diversity_n : int -> t
+val uid_diversity_n : ?segment_size:int -> int -> t
 (** An [n]-variant UID deployment: variant 0 canonical, variants
-    [1..n-1] at staggered bases with the XOR reexpression. Pairwise
-    disjointness holds for every pair involving variant 0 (the paper
-    only builds two variants; this generalization keeps its argument
-    for attacks that must fool variant 0 and any other). Raises
-    [Invalid_argument] for [n < 1]. *)
+    [1..n-1] at staggered bases with {e per-variant} XOR keys
+    ({!Reexpression.uid_for_variant}), so pairwise disjointness holds
+    for {e every} variant pair — the earlier shared-key form only kept
+    the argument for pairs involving variant 0. Staggered bases are
+    validated against [segment_size] (default
+    {!default_segment_size}): raises [Invalid_argument] on overlap or
+    32-bit overflow, or for [n < 1]. *)
+
+val full_diversity_n : int -> t
+(** [n]-variant composition of all three axes: staggered bases,
+    distinct instruction tags, the certified rotation+XOR UID family
+    ({!Reexpression.rotation_family}), unshared files. The rotation
+    component also closes the XOR axis's documented bit-31 escape —
+    a rotation moves the one bit a 31-bit XOR key cannot touch, so
+    bit-31 faults diverge after the rotated variants decode. *)
+
+val seeded_diversity : seed:int -> int -> t
+(** [n] variants whose XOR masks are drawn per boot from [seed]
+    ({!Reexpression.xor_family}): an attacker who learned the key
+    material of one boot (or read the paper) holds nothing valid for
+    the next. *)
+
+val rotation_diversity : int -> t
+(** [n] variants on the rotation axis composed with certified XOR keys
+    ({!Reexpression.rotation_family}). *)
+
+val add_diversity : int -> t
+(** [n] variants with additive reexpression mod 2^31
+    ({!Reexpression.add_family}). *)
+
+val rotation_only : int -> t
+(** [n] variants with {e bare} rotations — deliberately not pairwise
+    disjoint (every rotation fixes 0): the attack matrix's
+    demonstration that a single axis alone is defeated by a
+    zero-injection. Not part of {!portfolio}. *)
+
+val shared_key : int -> t
+(** The pre-fix configuration this PR's tentpole removes: every
+    variant >= 1 shares variant 1's key, so an attack fooling two
+    non-zero variants identically goes undetected. Kept only as the
+    regression target of the attack matrix and tests. Not part of
+    {!portfolio}. *)
+
+val portfolio : (string * t) list
+(** Every shipped data-diversity configuration, by name. The test
+    suite asserts, for each entry, the inverse property of every
+    variant and {!Reexpression.all_pairs_disjoint} across all variant
+    pairs. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,5 +1,6 @@
 (** Deployment of the case-study server in the four evaluation
-    configurations of Table 3. *)
+    configurations of Table 3, plus the N=3/4 portfolio columns of the
+    extended attack matrix. *)
 
 type config =
   | Unmodified_single
@@ -15,11 +16,35 @@ type config =
   | Two_variant_uid
       (** Configuration 4: the paper's UID variation — two variants,
           address partitioning, UID reexpression, unshared passwd. *)
+  | Shared_key_three
+      (** The pre-fix 3-variant deployment whose variants 1 and 2
+          share one XOR key ({!Nv_core.Variation.shared_key}) — the
+          regression column: the guessed-key injection escalates here
+          undetected. *)
+  | Rotation_only_three
+      (** Three variants with bare rotations — not pairwise disjoint
+          (every rotation fixes 0), so the zero-injection column
+          demonstrates the single-axis defeat. *)
+  | Seeded_three
+      (** Three variants with per-boot seeded XOR masks (boot seed
+          pinned for reproducibility). *)
+  | Composed_three
+      (** Three variants composing all axes: staggered bases, distinct
+          instruction tags, per-variant UID keys. *)
+  | Composed_four  (** The same composition over four variants. *)
 
 val all : config list
+(** The paper's four Table 3 configurations — the perf-bench set. *)
+
+val extended : config list
+(** The N=3/4 portfolio columns added by the extended attack matrix. *)
+
+val matrix : config list
+(** [all @ extended] — every column of the attack matrix. *)
 
 val name : config -> string
-(** "config1" .. "config4". *)
+(** "config1" .. "config4", then "sharedkey3", "rotonly3", "seeded3",
+    "composed3", "composed4". *)
 
 val description : config -> string
 

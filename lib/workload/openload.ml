@@ -23,13 +23,18 @@ type result = {
 
 let population ?seed ~users () = Passwd.sample @ Passwd.generate ?seed users
 
-let passwd_world ~entries ~variants =
+let passwd_world ~entries ~variation =
   let vfs = Vfs.create () in
   Vfs.mkdir_p vfs "/etc";
   Vfs.install vfs ~path:"/etc/passwd" (Passwd.serialize entries);
+  let variants = Nv_core.Variation.count variation in
   let sizes =
     Array.init variants (fun i ->
-        let f = (Reexpression.uid_for_variant i).Reexpression.encode in
+        (* The deployed variation's own per-variant spec, not a
+           hardcoded default family: under seeded or rotation configs
+           the two encodings disagree on every uid. *)
+        let spec = variation.Nv_core.Variation.variants.(i) in
+        let f = spec.Nv_core.Variation.uid.Reexpression.encode in
         let diversified =
           List.map (fun e -> { e with Passwd.uid = f e.Passwd.uid; gid = f e.Passwd.gid }) entries
         in

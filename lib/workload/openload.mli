@@ -33,10 +33,13 @@ val population : ?seed:int -> users:int -> unit -> Nv_os.Passwd.entry list
     same layout {!Nv_core.Nsystem.standard_vfs} installs. *)
 
 val passwd_world :
-  entries:Nv_os.Passwd.entry list -> variants:int -> Nv_os.Vfs.t * int array
+  entries:Nv_os.Passwd.entry list ->
+  variation:Nv_core.Variation.t ->
+  Nv_os.Vfs.t * int array
 (** Install the canonical [/etc/passwd] plus the per-variant unshared
-    reexpressed copies [/etc/passwd-0..], using each variant's UID
-    reexpression function, into a fresh VFS. Returns the VFS and the
+    reexpressed copies [/etc/passwd-0..], using the {e deployed
+    variation's} per-variant UID reexpression (not a hardcoded
+    default family), into a fresh VFS. Returns the VFS and the
     byte size of each variant file — at a million users these are the
     ~40 MB unshared files the fleet's replicas would carry. *)
 

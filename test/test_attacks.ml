@@ -108,6 +108,52 @@ let test_bit_set_high_escape () =
   check_verdict "uid-bit-set-high" Deploy.Two_variant_uid "CORRUPTED";
   check_verdict "uid-bit-set-high" Deploy.Unmodified_single "CORRUPTED"
 
+let test_guessed_key_injection_regression () =
+  (* THE regression for the N>2 disjointness bug. Under the pre-fix
+     shared-key family an attacker who learned variant 1's published
+     key writes one forged root UID into every variant >= 1; variants
+     1 and 2 decode it identically, out-vote variant 0's story at no
+     rendezvous, and the request escalates. Per-variant keys turn the
+     same injection into an immediate divergence. *)
+  check_verdict "uid-guessed-key-injection" Deploy.Shared_key_three "ESCALATED";
+  (* config4's keys ARE the published pair the attack guesses, so the
+     fixed-key two-variant deployment also loses once keys leak — the
+     attack's [assumes_keys] flag is what keeps this row out of the
+     headline detection gates. *)
+  check_verdict "uid-guessed-key-injection" Deploy.Two_variant_uid "ESCALATED";
+  check_verdict "uid-guessed-key-injection" Deploy.Seeded_three "DETECTED";
+  check_verdict "uid-guessed-key-injection" Deploy.Composed_three "DETECTED";
+  check_verdict "uid-guessed-key-injection" Deploy.Composed_four "DETECTED"
+
+let test_zero_injection_matrix () =
+  (* Zero is every bare rotation's fixed point, so the rotation-only
+     column falls to a stored zero; any keyed column detects it. *)
+  check_verdict "uid-zero-injection" Deploy.Rotation_only_three "ESCALATED";
+  check_verdict "uid-zero-injection" Deploy.Two_variant_uid "DETECTED";
+  check_verdict "uid-zero-injection" Deploy.Composed_three "DETECTED"
+
+let test_bit_set_high_closed_by_rotation () =
+  (* The paper's bit-31 escape survives every pure-XOR column (pinned
+     above for config4) but not the rotation/XOR composition: the
+     rotation moves bit 31, so the forced high bit decodes apart. *)
+  check_verdict "uid-bit-set-high" Deploy.Seeded_three "CORRUPTED";
+  check_verdict "uid-bit-set-high" Deploy.Composed_three "DETECTED";
+  check_verdict "uid-bit-set-high" Deploy.Composed_four "DETECTED"
+
+let test_composed_columns_fully_detected () =
+  (* The CI gate in executable form: no attack in the book leaves a
+     composed deployment corrupted or escalated. *)
+  let matrix =
+    Campaign.run_matrix ~configs:[ Deploy.Composed_three; Deploy.Composed_four ] ()
+  in
+  match Campaign.undetected_cells matrix with
+  | [] -> ()
+  | cells ->
+    Alcotest.failf "%d undetected composed cells, first: %s under %s"
+      (List.length cells)
+      (match cells with (a, _, _) :: _ -> a.Campaign.name | [] -> "")
+      (match cells with (_, c, _) :: _ -> Deploy.name c | [] -> "")
+
 let test_code_injection_matrix () =
   check_verdict "stack-code-injection" Deploy.Unmodified_single "ESCALATED";
   check_verdict "stack-code-injection" Deploy.Transformed_single "ESCALATED";
@@ -145,7 +191,12 @@ let test_matrix_runner_and_rendering () =
 let test_find () =
   Alcotest.(check bool) "known" true (Campaign.find "uid-null-overflow" <> None);
   Alcotest.(check bool) "unknown" true (Campaign.find "nonexistent" = None);
-  Alcotest.(check int) "seven attacks" 7 (List.length Campaign.attacks)
+  Alcotest.(check int) "nine attacks" 9 (List.length Campaign.attacks);
+  Alcotest.(check bool)
+    "guessed-key row is flagged key-compromise" true
+    (match Campaign.find "uid-guessed-key-injection" with
+    | Some a -> a.Campaign.assumes_keys
+    | None -> false)
 
 let () =
   Alcotest.run "nv_attacks"
@@ -168,6 +219,13 @@ let () =
           Alcotest.test_case "three bytes" `Quick test_three_bytes_matrix;
           Alcotest.test_case "bit set low" `Quick test_bit_set_low_matrix;
           Alcotest.test_case "bit set high escape" `Quick test_bit_set_high_escape;
+          Alcotest.test_case "guessed key (N>2 regression)" `Slow
+            test_guessed_key_injection_regression;
+          Alcotest.test_case "zero injection" `Slow test_zero_injection_matrix;
+          Alcotest.test_case "bit set high closed by rotation" `Slow
+            test_bit_set_high_closed_by_rotation;
+          Alcotest.test_case "composed columns fully detected" `Slow
+            test_composed_columns_fully_detected;
           Alcotest.test_case "code injection" `Slow test_code_injection_matrix;
           Alcotest.test_case "code injection fault" `Quick test_code_injection_detected_by_fault;
           Alcotest.test_case "escalation leaks shadow" `Quick test_escalation_leaks_shadow;

@@ -62,9 +62,18 @@ let test_reexpr_high_bit_weakness () =
     (r1.Reexpression.decode flipped1)
 
 let test_reexpr_table1_complete () =
-  Alcotest.(check int) "four rows" 4 (List.length Reexpression.table1);
-  let last = List.nth Reexpression.table1 3 in
-  Alcotest.(check string) "uid row" "UID" last.Reexpression.target_type
+  (* The paper's four rows plus the portfolio's four (per-variant
+     keys, seeded masks, rotation+XOR, addition mod 2^31). *)
+  Alcotest.(check int) "eight rows" 8 (List.length Reexpression.table1);
+  let paper_uid = List.nth Reexpression.table1 3 in
+  Alcotest.(check string) "uid row" "UID" paper_uid.Reexpression.target_type;
+  List.iteri
+    (fun i row ->
+      if i >= 4 then
+        Alcotest.(check string)
+          (Printf.sprintf "portfolio row %d targets UID" i)
+          "UID" row.Reexpression.target_type)
+    Reexpression.table1
 
 (* ------------------------------------------------------------------ *)
 (* Variations                                                          *)
@@ -81,6 +90,161 @@ let test_variation_shapes () =
   let t = Variation.instruction_tagging in
   Alcotest.(check bool) "tags disjoint" true
     (t.Variation.variants.(0).Variation.tag <> t.Variation.variants.(1).Variation.tag)
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio-wide diversity properties                                 *)
+(* ------------------------------------------------------------------ *)
+
+let uid_specs_of v = Array.map (fun s -> s.Variation.uid) v.Variation.variants
+
+let prop_portfolio_inverse =
+  QCheck.Test.make ~name:"portfolio: inverse holds for every shipped config" ~count:500
+    full_word_gen
+    (fun x ->
+      List.for_all
+        (fun (_, v) ->
+          Array.for_all (fun r -> Reexpression.inverse_holds r x) (uid_specs_of v))
+        Variation.portfolio)
+
+let prop_portfolio_all_pairs_disjoint =
+  QCheck.Test.make ~name:"portfolio: all pairs pointwise disjoint" ~count:500
+    full_word_gen
+    (fun x ->
+      List.for_all
+        (fun (_, v) ->
+          let rs = uid_specs_of v in
+          let n = Array.length rs in
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            for j = i + 1 to n - 1 do
+              if not (Reexpression.disjoint_at rs.(i) rs.(j) x) then ok := false
+            done
+          done;
+          !ok)
+        Variation.portfolio)
+
+let prop_shared_key_regression =
+  (* The pre-fix bug, kept as an executable negative: every variant
+     >= 1 shared variant 1's key, so pair (1, 2) decodes EVERY word
+     identically — a value injected into both is valid in both. The
+     all-pairs property above is what rules this out of the shipped
+     portfolio. *)
+  QCheck.Test.make ~name:"pre-fix shared-key family: pair (1,2) never disjoint"
+    ~count:500 full_word_gen
+    (fun x ->
+      let rs = uid_specs_of (Variation.shared_key 3) in
+      not (Reexpression.disjoint_at rs.(1) rs.(2) x))
+
+let prop_constructor_inverse =
+  QCheck.Test.make ~name:"new constructors: inverse holds" ~count:500 full_word_gen
+    (fun x ->
+      List.for_all
+        (fun r -> Reexpression.inverse_holds r x)
+        [
+          Reexpression.rotate ~k:7;
+          Reexpression.rot_xor ~k:3 ~key:0x005A5A5A;
+          Reexpression.add_mod31 ~offset:0x01000001;
+          Reexpression.xor_key ~key:0x01234567;
+        ])
+
+let test_portfolio_witnesses () =
+  (* The machine-checkable counterpart of the qcheck sampling above:
+     selfcheck (inverse + declared form) for every variant, and the
+     GF(2)/offset decision procedure proving every pair disjoint. *)
+  List.iter
+    (fun (name, v) ->
+      let rs = uid_specs_of v in
+      Array.iter
+        (fun r ->
+          match Reexpression.selfcheck r with
+          | Ok () -> ()
+          | Error x ->
+            Alcotest.failf "%s: selfcheck of %s failed at 0x%08X" name
+              r.Reexpression.name x)
+        rs;
+      match Reexpression.all_pairs_disjoint rs with
+      | Ok () -> ()
+      | Error (i, j, _) ->
+        Alcotest.failf "%s: pair (%d, %d) not proven disjoint" name i j)
+    Variation.portfolio
+
+let test_shared_key_witness_refuted () =
+  (* Regression for the N>2 disjointness bug: the solver must refute
+     the shared-key family at pair (1, 2) with a concrete collision. *)
+  let rs = uid_specs_of (Variation.shared_key 3) in
+  match Reexpression.all_pairs_disjoint rs with
+  | Ok () -> Alcotest.fail "shared-key family wrongly certified disjoint"
+  | Error (i, j, witness) -> (
+    Alcotest.(check (pair int int)) "offending pair" (1, 2) (i, j);
+    match witness with
+    | Some x ->
+      Alcotest.(check bool) "collision verified by evaluation" false
+        (Reexpression.disjoint_at rs.(1) rs.(2) x)
+    | None -> Alcotest.fail "expected a concrete collision witness")
+
+let test_rotation_only_refuted () =
+  (* Bare rotations all fix 0: the single-axis family must not pass. *)
+  match Reexpression.all_pairs_disjoint (Reexpression.rotation_only_family 3) with
+  | Ok () -> Alcotest.fail "bare rotations wrongly certified disjoint"
+  | Error _ -> ()
+
+let test_disjointness_verdicts () =
+  let open Reexpression in
+  (match disjointness (uid_for_variant 1) (uid_for_variant 2) with
+  | Proven -> ()
+  | _ -> Alcotest.fail "distinct XOR keys must be proven disjoint");
+  (match disjointness (rotate ~k:1) (rotate ~k:2) with
+  | Refuted x ->
+    Alcotest.(check bool) "refutation verified" false
+      (disjoint_at (rotate ~k:1) (rotate ~k:2) x)
+  | _ -> Alcotest.fail "bare rotations must be refuted");
+  (match disjointness (add_mod31 ~offset:5) (add_mod31 ~offset:5) with
+  | Refuted _ -> ()
+  | _ -> Alcotest.fail "equal offsets must be refuted");
+  match disjointness (add_mod31 ~offset:1) (add_mod31 ~offset:2) with
+  | Proven -> ()
+  | _ -> Alcotest.fail "distinct offsets must be proven disjoint"
+
+let test_composed_shapes () =
+  let v = Variation.full_diversity_n 3 in
+  Alcotest.(check int) "three variants" 3 (Variation.count v);
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check int) (Printf.sprintf "variant %d index" i) i s.Variation.index;
+      Alcotest.(check int) (Printf.sprintf "variant %d tag" i) (i + 1) s.Variation.tag)
+    v.Variation.variants;
+  let bases = Array.map (fun s -> s.Variation.base) v.Variation.variants in
+  Alcotest.(check bool) "bases pairwise distinct" true
+    (bases.(0) <> bases.(1) && bases.(1) <> bases.(2) && bases.(0) <> bases.(2));
+  Alcotest.(check bool) "passwd unshared" true
+    (List.mem "/etc/passwd" v.Variation.unshared_paths);
+  let plain = Variation.composed ~n:2 [] in
+  Alcotest.(check string) "plain name" "composed-plain-2" plain.Variation.name;
+  Alcotest.(check bool) "no unshared files without a uid axis" true
+    (plain.Variation.unshared_paths = [])
+
+let test_uid_diversity_n_validation () =
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Variation.uid_diversity_n: variant 0 and 1 segments overlap")
+    (fun () -> ignore (Variation.uid_diversity_n ~segment_size:0x8000_0001 2));
+  Alcotest.check_raises "overflow"
+    (Invalid_argument
+       "Variation.uid_diversity_n: variant 2 segment overflows the 32-bit address space")
+    (fun () -> ignore (Variation.uid_diversity_n ~segment_size:0x4000_0000 3));
+  Alcotest.check_raises "positive size"
+    (Invalid_argument "Variation.uid_diversity_n: segment size must be positive")
+    (fun () -> ignore (Variation.uid_diversity_n ~segment_size:0 3))
+
+let test_alarm_divergent_indices () =
+  Alcotest.(check (list int)) "majority of three" [ 2 ]
+    (Alarm.divergent_indices [| 5; 5; 7 |]);
+  Alcotest.(check (list int)) "minority first" [ 0 ]
+    (Alarm.divergent_indices [| 9; 4; 4 |]);
+  Alcotest.(check (list int)) "all distinct ties toward variant 0" [ 1; 2 ]
+    (Alarm.divergent_indices [| 1; 2; 3 |]);
+  Alcotest.(check (list int)) "four variants, split pair" [ 2; 3 ]
+    (Alarm.divergent_indices [| 8; 8; 1; 2 |]);
+  Alcotest.(check (list int)) "agreement" [] (Alarm.divergent_indices [| 6; 6; 6 |])
 
 (* ------------------------------------------------------------------ *)
 (* Monitor plumbing helpers                                            *)
@@ -702,10 +866,33 @@ let () =
           Alcotest.test_case "paper values" `Quick test_reexpr_paper_values;
           Alcotest.test_case "high-bit weakness" `Quick test_reexpr_high_bit_weakness;
           Alcotest.test_case "table1 rows" `Quick test_reexpr_table1_complete;
+          Alcotest.test_case "disjointness verdicts" `Quick test_disjointness_verdicts;
+          Alcotest.test_case "rotation-only refuted" `Quick test_rotation_only_refuted;
         ]
-        @ qsuite [ prop_reexpr_inverse; prop_reexpr_disjoint ] );
+        @ qsuite [ prop_reexpr_inverse; prop_reexpr_disjoint; prop_constructor_inverse ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "witnesses" `Quick test_portfolio_witnesses;
+          Alcotest.test_case "shared-key refuted (N>2 regression)" `Quick
+            test_shared_key_witness_refuted;
+        ]
+        @ qsuite
+            [
+              prop_portfolio_inverse;
+              prop_portfolio_all_pairs_disjoint;
+              prop_shared_key_regression;
+            ] );
       ( "variation",
-        [ Alcotest.test_case "shapes" `Quick test_variation_shapes ] );
+        [
+          Alcotest.test_case "shapes" `Quick test_variation_shapes;
+          Alcotest.test_case "composed shapes" `Quick test_composed_shapes;
+          Alcotest.test_case "base validation" `Quick test_uid_diversity_n_validation;
+        ] );
+      ( "alarm",
+        [
+          Alcotest.test_case "divergent indices majority" `Quick
+            test_alarm_divergent_indices;
+        ] );
       ( "normal-equivalence",
         [
           Alcotest.test_case "replicated" `Quick test_normal_equivalence_replicated;

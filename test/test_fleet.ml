@@ -200,6 +200,33 @@ let test_rejects_bad_config () =
       ignore (Fleet.run bad ~next_request:(steady_stream ~seed:1 ())))
 
 (* ------------------------------------------------------------------ *)
+(* Diversified passwd worlds                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_passwd_world_follows_variation () =
+  (* Regression: passwd_world used to encode every copy with the
+     hardcoded default key family, so a seeded or rotated deployment
+     got unshared files its own variants could not decode. The copies
+     must come from the deployed variation's per-variant specs. *)
+  let entries = Openload.population ~seed:5 ~users:20 () in
+  let contents variation i =
+    let vfs, _ = Openload.passwd_world ~entries ~variation in
+    match Nv_os.Vfs.contents vfs ~path:(Printf.sprintf "/etc/passwd-%d" i) with
+    | Ok s -> s
+    | Error _ -> Alcotest.failf "missing /etc/passwd-%d" i
+  in
+  let default = Deploy.variation Deploy.Two_variant_uid in
+  let seeded = Deploy.variation Deploy.Seeded_three in
+  let _, sizes = Openload.passwd_world ~entries ~variation:seeded in
+  Alcotest.(check int) "one copy per variant" 3 (Array.length sizes);
+  Alcotest.(check string) "variant 0 is the identity in both deployments"
+    (contents default 0) (contents seeded 0);
+  Alcotest.(check bool) "variant 1 follows the deployed key, not the default" true
+    (contents default 1 <> contents seeded 1);
+  Alcotest.(check bool) "seeded variants pairwise distinct" true
+    (contents seeded 1 <> contents seeded 2)
+
+(* ------------------------------------------------------------------ *)
 (* Openload end-to-end                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -267,6 +294,8 @@ let () =
         ] );
       ( "openload",
         [
+          Alcotest.test_case "passwd world follows variation" `Quick
+            test_passwd_world_follows_variation;
           Alcotest.test_case "seq and par runs identical" `Quick
             test_openload_seq_par_identical;
           Alcotest.test_case "indexed lookups stay sublinear" `Quick

@@ -184,6 +184,34 @@ let test_three_variants_detect_corruption () =
   | Monitor.Alarm (Alarm.Arg_mismatch _) -> ()
   | _ -> Alcotest.fail "expected detection with three variants"
 
+let test_three_variants_forensics_name_divergent () =
+  (* Only variant 2's stored UID is corrupted: with N=3 the majority
+     vote over the decoded argument vector pins the divergence on
+     variant 2 — something the two-variant deployments can never do. *)
+  let variation = Variation.full_diversity_n 3 in
+  let source =
+    {|uid_t stash;
+      int main(void) {
+        stash = getuid();
+        int fd = sys_accept(3);
+        sys_close(fd);
+        if (seteuid(stash) != 0) { return 1; }
+        return 0;
+      }|}
+  in
+  let sys = build_transformed variation source in
+  (match Nsystem.run sys with
+  | Monitor.Blocked_on_accept -> ()
+  | _ -> Alcotest.fail "expected block");
+  let loaded = Monitor.loaded (Nsystem.monitor sys) 2 in
+  Memory.store_word loaded.Image.memory (Image.abs_symbol loaded "stash") 0;
+  ignore (Nsystem.connect sys);
+  match Nsystem.run sys with
+  | Monitor.Alarm (Alarm.Arg_mismatch { values; _ }) ->
+    Alcotest.(check (list int)) "variant 2 implicated" [ 2 ]
+      (Alarm.divergent_indices values)
+  | _ -> Alcotest.fail "expected an argument mismatch naming variant 2"
+
 (* ------------------------------------------------------------------ *)
 (* Failure injection                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -348,7 +376,8 @@ let test_all_configs_serve_identically () =
             expected actual)
         reference got)
     [ Nv_httpd.Deploy.Transformed_single; Nv_httpd.Deploy.Two_variant_address;
-      Nv_httpd.Deploy.Two_variant_uid ]
+      Nv_httpd.Deploy.Two_variant_uid; Nv_httpd.Deploy.Seeded_three;
+      Nv_httpd.Deploy.Composed_three; Nv_httpd.Deploy.Composed_four ]
 
 let test_soak_config4 () =
   (* 120 requests through the full UID-variation deployment: no alarm,
@@ -465,6 +494,8 @@ let () =
         [
           Alcotest.test_case "three variants normal" `Quick test_three_variants_normal_equivalence;
           Alcotest.test_case "three variants detect" `Quick test_three_variants_detect_corruption;
+          Alcotest.test_case "three variants forensics" `Quick
+            test_three_variants_forensics_name_divergent;
         ] );
       ( "failure-injection",
         [
